@@ -1,0 +1,49 @@
+// SMT policy ablation: ICOUNT vs round-robin fetch on the paper's
+// multithreaded pairings, plus single-thread overhead of the SMT
+// partitioning (paper section 3.1 discusses multithreaded behaviour).
+#include <iostream>
+
+#include "bench_util.hh"
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "harness/report.hh"
+
+using namespace loopsim;
+
+int
+main(int argc, char **argv)
+{
+    auto ops = benchutil::benchOps(argc, argv, 100000);
+
+    FigureData fig;
+    fig.title = "Ablation: SMT fetch policy (pair throughput, ICOUNT "
+                "relative to round-robin)";
+    fig.valueUnit = "speedup";
+    fig.columns.push_back(Series{"roundrobin", {}});
+    fig.columns.push_back(Series{"icount", {}});
+
+    for (const char *pair : {"m88-comp", "go-su2cor", "apsi-swim",
+                             "swim-swim", "gcc-gcc"}) {
+        fig.rowLabels.push_back(pair);
+
+        RunSpec rr;
+        rr.workload = resolveWorkload(pair);
+        rr.totalOps = ops;
+        rr.overrides.set("core.fetch_policy", "rr");
+        RunResult rr_res = runOnce(rr);
+
+        RunSpec ic;
+        ic.workload = resolveWorkload(pair);
+        ic.totalOps = ops;
+        ic.overrides.set("core.fetch_policy", "icount");
+        RunResult ic_res = runOnce(ic);
+
+        fig.columns[0].values.push_back(1.0);
+        fig.columns[1].values.push_back(speedup(ic_res, rr_res));
+    }
+    if (benchutil::wantCsv(argc, argv))
+        printCsv(std::cout, fig);
+    else
+        printFigure(std::cout, fig);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ */
+
+#ifndef LOOPSIM_BENCH_BENCH_UTIL_HH
+#define LOOPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace loopsim::benchutil
+{
+
+/**
+ * Correct-path ops per run. Default 200k balances statistical noise
+ * against wall-clock time; override with LOOPSIM_BENCH_OPS (or argv[1])
+ * for a higher-fidelity pass.
+ */
+inline std::uint64_t
+benchOps(int argc, char **argv, std::uint64_t def = 200000)
+{
+    if (argc > 1 && std::string(argv[1]) != "--csv")
+        return std::strtoull(argv[1], nullptr, 0);
+    if (const char *env = std::getenv("LOOPSIM_BENCH_OPS"))
+        return std::strtoull(env, nullptr, 0);
+    return def;
+}
+
+/** True when the user asked for CSV output (--csv anywhere in argv). */
+inline bool
+wantCsv(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--csv")
+            return true;
+    }
+    return false;
+}
+
+/** Workloads used by ablation benches (a representative subset). */
+inline std::vector<std::string>
+ablationWorkloads()
+{
+    return {"gcc", "swim", "turb3d", "apsi"};
+}
+
+} // namespace loopsim::benchutil
+
+#endif // LOOPSIM_BENCH_BENCH_UTIL_HH

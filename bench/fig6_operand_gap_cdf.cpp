@@ -1,0 +1,22 @@
+// Regenerates Figure 6: CDF of cycles between operand availability.
+#include <iostream>
+
+#include "bench_util.hh"
+#include "harness/figures.hh"
+#include "harness/report.hh"
+
+using namespace loopsim;
+
+int
+main(int argc, char **argv)
+{
+    auto ops = benchutil::benchOps(argc, argv);
+    // The paper plots turb3d and notes other benchmarks look similar;
+    // print a second benchmark to substantiate that claim.
+    FigureData fig = figure6(ops, {"turb3d", "swim"});
+    if (benchutil::wantCsv(argc, argv))
+        printCsv(std::cout, fig);
+    else
+        printFigure(std::cout, fig);
+    return 0;
+}

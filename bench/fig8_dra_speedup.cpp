@@ -1,0 +1,20 @@
+// Regenerates Figure 8 of "Loose Loops Sink Chips" (HPCA 2002).
+#include <iostream>
+
+#include "bench_util.hh"
+#include "harness/figures.hh"
+#include "harness/report.hh"
+
+using namespace loopsim;
+
+int
+main(int argc, char **argv)
+{
+    auto ops = benchutil::benchOps(argc, argv);
+    FigureData fig = figure8(ops);
+    if (benchutil::wantCsv(argc, argv))
+        printCsv(std::cout, fig);
+    else
+        printFigure(std::cout, fig);
+    return 0;
+}

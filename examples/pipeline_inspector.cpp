@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pipeline inspector: run one workload on one configuration and dump
+ * the complete statistics group, the memory-system counters, and (when
+ * the DRA is enabled) the per-structure DRA counters. The go-to tool
+ * for understanding *why* a configuration performs the way it does.
+ *
+ * Usage: pipeline_inspector [workload] [ops] [k=v overrides...]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "harness/experiment.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+#include "workload/workload_set.hh"
+
+using namespace loopsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name = argc > 1 ? argv[1] : "swim";
+    std::uint64_t ops = argc > 2 ? std::strtoull(argv[2], nullptr, 0)
+                                 : 200000;
+
+    Config cfg = defaultFigureConfig();
+    for (int i = 3; i < argc; ++i)
+        cfg.parseAssignment(argv[i]);
+
+    // "custom" builds the workload from workload.* config keys
+    // (profileFromConfig), e.g.
+    //   pipeline_inspector custom 100000 workload.base=swim \
+    //       workload.load_frac=0.4
+    Workload w;
+    if (workload_name == "custom") {
+        w.label = "custom";
+        w.threads.push_back(profileFromConfig(cfg));
+    } else {
+        w = resolveWorkload(workload_name);
+    }
+    std::uint64_t warmup = 60000;
+    std::uint64_t per_thread = (ops + warmup) / w.threads.size();
+
+    std::vector<std::unique_ptr<SyntheticTraceGenerator>> gens;
+    std::vector<TraceSource *> sources;
+    for (std::size_t t = 0; t < w.threads.size(); ++t) {
+        gens.push_back(std::make_unique<SyntheticTraceGenerator>(
+            w.threads[t], static_cast<ThreadId>(t), per_thread));
+        sources.push_back(gens.back().get());
+    }
+
+    Core core(cfg, sources);
+    Simulator sim;
+    sim.add(&core);
+    while (core.retiredOps() < warmup && !core.done())
+        sim.run(1024);
+    core.beginMeasurement();
+    sim.run(100000000);
+
+    std::cout << "=== machine ===\n";
+    core.machine().print(std::cout);
+
+    std::cout << "\n=== results ===\n";
+    std::cout << "IPC " << core.ipc() << " over " << core.cyclesRun()
+              << " cycles\n";
+    for (unsigned t = 0; t < core.numThreads(); ++t) {
+        std::cout << "  thread " << t << " retired "
+                  << core.retiredOps(static_cast<ThreadId>(t)) << "\n";
+    }
+    std::cout << "\n";
+
+    std::cout << "=== core statistics ===\n";
+    core.statGroup().dump(std::cout);
+
+    const MemoryHierarchy &mem = core.memory();
+    std::cout << "\n=== memory ===\n";
+    std::cout << "l1 miss rate      " << mem.l1().missRate() << "\n"
+              << "l2 miss rate      " << mem.l2().missRate() << "\n"
+              << "dtlb misses       " << mem.tlb().misses() << "\n"
+              << "bank conflicts    " << mem.bankConflicts() << "\n";
+
+    if (const DraUnit *dra = core.dra()) {
+        std::cout << "\n=== DRA structures ===\n";
+        std::cout << "pre-reads         " << dra->preReads() << "\n"
+                  << "crc insertions    " << dra->crcInsertions() << "\n"
+                  << "crc evictions     " << dra->crcEvictions() << "\n"
+                  << "table saturation  " << dra->saturationDrops()
+                  << "\n";
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        for (unsigned c = 0; c < core.machine().numClusters; ++c) {
+            hits += dra->crc(static_cast<ClusterId>(c)).hits();
+            misses += dra->crc(static_cast<ClusterId>(c)).misses();
+        }
+        std::cout << "crc lookups       " << hits + misses << " ("
+                  << hits << " hits, " << misses << " misses)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO used for pipeline latches, the forwarding
+ * buffer, and the reorder buffer.
+ */
+
+#ifndef LOOPSIM_BASE_CIRCULAR_BUFFER_HH
+#define LOOPSIM_BASE_CIRCULAR_BUFFER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+/**
+ * A bounded FIFO over contiguous storage. Indexing via operator[](i)
+ * addresses the i-th oldest element. Pushing into a full buffer panics;
+ * callers are expected to model back-pressure explicitly.
+ */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(std::size_t capacity)
+        : store(capacity), head(0), count(0)
+    {
+        panic_if(capacity == 0, "CircularBuffer capacity must be > 0");
+    }
+
+    std::size_t capacity() const { return store.size(); }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == store.size(); }
+    std::size_t freeSlots() const { return store.size() - count; }
+
+    /** Append to the tail. */
+    void
+    push(T value)
+    {
+        panic_if(full(), "push into full CircularBuffer");
+        store[index(count)] = std::move(value);
+        ++count;
+    }
+
+    /** Remove and return the oldest element. */
+    T
+    pop()
+    {
+        panic_if(empty(), "pop from empty CircularBuffer");
+        T value = std::move(store[head]);
+        head = (head + 1) % store.size();
+        --count;
+        return value;
+    }
+
+    /** Discard the newest element (used for squash-from-tail walks). */
+    T
+    popBack()
+    {
+        panic_if(empty(), "popBack from empty CircularBuffer");
+        --count;
+        return std::move(store[index(count)]);
+    }
+
+    /** The oldest element. */
+    T &front() { return const_cast<T &>(std::as_const(*this).front()); }
+    const T &
+    front() const
+    {
+        panic_if(empty(), "front of empty CircularBuffer");
+        return store[head];
+    }
+
+    /** The newest element. */
+    T &back() { return const_cast<T &>(std::as_const(*this).back()); }
+    const T &
+    back() const
+    {
+        panic_if(empty(), "back of empty CircularBuffer");
+        return store[index(count - 1)];
+    }
+
+    /** The i-th oldest element (0 == front). */
+    T &operator[](std::size_t i)
+    {
+        return const_cast<T &>(std::as_const(*this)[i]);
+    }
+    const T &
+    operator[](std::size_t i) const
+    {
+        panic_if(i >= count, "CircularBuffer index out of range");
+        return store[index(i)];
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::size_t index(std::size_t i) const
+    {
+        return (head + i) % store.size();
+    }
+
+    std::vector<T> store;
+    std::size_t head;
+    std::size_t count;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BASE_CIRCULAR_BUFFER_HH

@@ -1,0 +1,119 @@
+#include "base/debug.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace loopsim::debug
+{
+
+namespace
+{
+
+unsigned flagMask = [] {
+    const char *env = std::getenv("LOOPSIM_DEBUG");
+    if (!env)
+        return 0u;
+    // Deferred: setFlags needs the name table below, so parse lazily
+    // through a helper that runs after static init of this TU.
+    return ~0u; // sentinel: replaced by the first enabled() call
+}();
+
+bool envParsed = false;
+
+constexpr unsigned allMask =
+    (1u << static_cast<unsigned>(Flag::NumFlags)) - 1;
+
+unsigned
+maskOf(Flag flag)
+{
+    return 1u << static_cast<unsigned>(flag);
+}
+
+void
+parseEnvOnce()
+{
+    if (envParsed)
+        return;
+    envParsed = true;
+    const char *env = std::getenv("LOOPSIM_DEBUG");
+    flagMask = 0;
+    if (env)
+        setFlags(env);
+}
+
+} // anonymous namespace
+
+const char *
+flagName(Flag flag)
+{
+    switch (flag) {
+      case Flag::Fetch: return "Fetch";
+      case Flag::Rename: return "Rename";
+      case Flag::Issue: return "Issue";
+      case Flag::Exec: return "Exec";
+      case Flag::Retire: return "Retire";
+      case Flag::Squash: return "Squash";
+      case Flag::Kill: return "Kill";
+      case Flag::Dra: return "Dra";
+      case Flag::Mem: return "Mem";
+      default: panic("unknown debug flag");
+    }
+}
+
+bool
+enabled(Flag flag)
+{
+    parseEnvOnce();
+    return (flagMask & maskOf(flag)) != 0;
+}
+
+bool
+anyEnabled()
+{
+    parseEnvOnce();
+    return flagMask != 0;
+}
+
+void
+setFlags(const std::string &csv)
+{
+    envParsed = true;
+    for (const std::string &raw : split(csv, ',')) {
+        std::string name = toLower(trim(raw));
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            flagMask = allMask;
+            continue;
+        }
+        bool found = false;
+        for (unsigned f = 0;
+             f < static_cast<unsigned>(Flag::NumFlags); ++f) {
+            if (toLower(flagName(static_cast<Flag>(f))) == name) {
+                flagMask |= 1u << f;
+                found = true;
+                break;
+            }
+        }
+        fatal_if(!found, "unknown debug flag: ", raw);
+    }
+}
+
+void
+clearFlags()
+{
+    envParsed = true;
+    flagMask = 0;
+}
+
+void
+emit(Flag flag, Cycle cycle, const std::string &message)
+{
+    std::cerr << cycle << ": " << flagName(flag) << ": " << message
+              << "\n";
+}
+
+} // namespace loopsim::debug

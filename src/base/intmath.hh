@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small integer-math helpers for cache indexing and sizing.
+ */
+
+#ifndef LOOPSIM_BASE_INTMATH_HH
+#define LOOPSIM_BASE_INTMATH_HH
+
+#include <cstdint>
+
+namespace loopsim
+{
+
+/** True iff @p n is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log2(n); log2(0) is defined as 0 for convenience. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned r = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Ceiling of log2(n). */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return isPowerOf2(n) ? floorLog2(n) : floorLog2(n) + 1;
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p n up to the next multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t n, std::uint64_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+/** Round @p n down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundDown(std::uint64_t n, std::uint64_t align)
+{
+    return n & ~(align - 1);
+}
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BASE_INTMATH_HH

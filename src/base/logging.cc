@@ -1,0 +1,62 @@
+#include "base/logging.hh"
+
+#include <iostream>
+
+namespace loopsim
+{
+namespace detail
+{
+
+namespace
+{
+bool quietFlag = false;
+} // anonymous namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << msg << " @ " << file << ":" << line;
+    if (!quietFlag)
+        std::cerr << os.str() << std::endl;
+    throw PanicError(os.str());
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " @ " << file << ":" << line;
+    if (!quietFlag)
+        std::cerr << os.str() << std::endl;
+    throw FatalError(os.str());
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace loopsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * gem5-flavoured status and error reporting.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef LOOPSIM_BASE_LOGGING_HH
+#define LOOPSIM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace loopsim
+{
+
+/** Thrown by panic(); signals a simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(); signals a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Fold a parameter pack into one message string via operator<<. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Suppress or restore warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace detail
+
+#define panic(...)                                                          \
+    ::loopsim::detail::panicImpl(                                           \
+        __FILE__, __LINE__, ::loopsim::detail::formatMessage(__VA_ARGS__))
+
+#define fatal(...)                                                          \
+    ::loopsim::detail::fatalImpl(                                           \
+        __FILE__, __LINE__, ::loopsim::detail::formatMessage(__VA_ARGS__))
+
+#define warn(...)                                                           \
+    ::loopsim::detail::warnImpl(::loopsim::detail::formatMessage(__VA_ARGS__))
+
+#define inform(...)                                                         \
+    ::loopsim::detail::informImpl(                                          \
+        ::loopsim::detail::formatMessage(__VA_ARGS__))
+
+/** panic() unless the stated invariant holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic("panic condition (" #cond ") occurred: ", __VA_ARGS__);   \
+        }                                                                   \
+    } while (false)
+
+/** fatal() unless the stated user-facing requirement holds. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal("fatal condition (" #cond ") occurred: ", __VA_ARGS__);   \
+        }                                                                   \
+    } while (false)
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BASE_LOGGING_HH

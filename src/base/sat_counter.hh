@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Saturating up/down counter, the workhorse of predictors and the DRA
+ * insertion tables.
+ */
+
+#ifndef LOOPSIM_BASE_SAT_COUNTER_HH
+#define LOOPSIM_BASE_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+/**
+ * An n-bit saturating counter. Increments stick at 2^bits - 1 and
+ * decrements stick at 0.
+ */
+class SatCounter
+{
+  public:
+    /** Construct a @p bits wide counter with initial value @p initial. */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxVal((1u << bits) - 1), count(initial)
+    {
+        panic_if(bits == 0 || bits > 16, "SatCounter width out of range");
+        panic_if(initial > maxVal, "SatCounter initial value > max");
+    }
+
+    /** Increment, saturating at the maximum. Returns the new value. */
+    unsigned
+    increment()
+    {
+        if (count < maxVal)
+            ++count;
+        return count;
+    }
+
+    /** Decrement, saturating at zero. Returns the new value. */
+    unsigned
+    decrement()
+    {
+        if (count > 0)
+            --count;
+        return count;
+    }
+
+    /** Reset to zero. */
+    void reset() { count = 0; }
+
+    /** Force a specific (clamped) value. */
+    void
+    set(unsigned v)
+    {
+        count = v > maxVal ? maxVal : v;
+    }
+
+    unsigned value() const { return count; }
+    unsigned max() const { return maxVal; }
+    bool saturated() const { return count == maxVal; }
+
+    /** Most-significant-bit test, the usual taken/not-taken decision. */
+    bool msb() const { return count > maxVal / 2; }
+
+  private:
+    unsigned maxVal;
+    unsigned count;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BASE_SAT_COUNTER_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * String helpers used by the config parser and report formatting.
+ */
+
+#ifndef LOOPSIM_BASE_STR_HH
+#define LOOPSIM_BASE_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace loopsim
+{
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split @p s on character @p sep; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Case-sensitive prefix test. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** Render a double with fixed @p precision digits after the point. */
+std::string formatDouble(double v, int precision);
+
+/** Render @p v as a percentage string, e.g.\ "12.3%". */
+std::string formatPercent(double v, int precision = 1);
+
+/** Left/right pad @p s to @p width with spaces. */
+std::string padLeft(const std::string &s, std::size_t width);
+std::string padRight(const std::string &s, std::size_t width);
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BASE_STR_HH

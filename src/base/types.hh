@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef LOOPSIM_BASE_TYPES_HH
+#define LOOPSIM_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace loopsim
+{
+
+/** Simulated time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction sequence number (program order within a run). */
+using SeqNum = std::uint64_t;
+
+/** Architectural register index within one thread's register space. */
+using ArchReg = std::uint16_t;
+
+/** Physical register index in the unified physical register file. */
+using PhysReg = std::uint16_t;
+
+/** Hardware thread (SMT context) identifier. */
+using ThreadId = std::uint8_t;
+
+/** Functional-unit cluster identifier. */
+using ClusterId = std::uint8_t;
+
+/** Virtual address of an instruction or datum. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no physical register" (e.g.\ an absent source operand). */
+constexpr PhysReg invalidPhysReg = std::numeric_limits<PhysReg>::max();
+
+/** Sentinel for "no architectural register". */
+constexpr ArchReg invalidArchReg = std::numeric_limits<ArchReg>::max();
+
+/** Sentinel for "event has not happened / time unknown". */
+constexpr Cycle invalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel sequence number used before an instruction is numbered. */
+constexpr SeqNum invalidSeqNum = std::numeric_limits<SeqNum>::max();
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BASE_TYPES_HH

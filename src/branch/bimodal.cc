@@ -1,0 +1,45 @@
+#include "branch/bimodal.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+BimodalPredictor::BimodalPredictor(std::size_t entries,
+                                   unsigned counter_bits)
+    : table(entries, SatCounter(counter_bits, (1u << counter_bits) / 2))
+{
+    fatal_if(!isPowerOf2(entries), "bimodal table size must be 2^n");
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & (table.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc, ThreadId)
+{
+    return table[index(pc)].msb();
+}
+
+void
+BimodalPredictor::update(Addr pc, ThreadId, bool taken)
+{
+    SatCounter &c = table[index(pc)];
+    if (taken)
+        c.increment();
+    else
+        c.decrement();
+}
+
+void
+BimodalPredictor::reset()
+{
+    for (auto &c : table)
+        c.set(c.max() / 2 + 1);
+}
+
+} // namespace loopsim

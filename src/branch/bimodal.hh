@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Classic bimodal (Smith) predictor: a table of 2-bit counters indexed
+ * by the branch PC.
+ */
+
+#ifndef LOOPSIM_BRANCH_BIMODAL_HH
+#define LOOPSIM_BRANCH_BIMODAL_HH
+
+#include <vector>
+
+#include "base/sat_counter.hh"
+#include "branch/predictor.hh"
+
+namespace loopsim
+{
+
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit BimodalPredictor(std::size_t entries = 4096,
+                              unsigned counter_bits = 2);
+
+    bool predict(Addr pc, ThreadId tid) override;
+    void update(Addr pc, ThreadId tid, bool taken) override;
+    void reset() override;
+    std::string name() const override { return "bimodal"; }
+
+    std::size_t size() const { return table.size(); }
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<SatCounter> table;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BRANCH_BIMODAL_HH

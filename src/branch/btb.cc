@@ -1,0 +1,79 @@
+#include "branch/btb.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+Btb::Btb(std::size_t num_entries, unsigned ways)
+    : numSets(ways ? num_entries / ways : 0), numWays(ways),
+      entries(num_entries)
+{
+    fatal_if(ways == 0 || num_entries % ways != 0,
+             "BTB ways must divide entries");
+    fatal_if(!isPowerOf2(numSets), "BTB set count must be 2^n");
+}
+
+std::size_t
+Btb::setIndex(Addr pc) const
+{
+    return (pc >> 2) & (numSets - 1);
+}
+
+Btb::Entry *
+Btb::findEntry(Addr pc, ThreadId tid)
+{
+    std::size_t base = setIndex(pc) * numWays;
+    for (unsigned w = 0; w < numWays; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.tag == pc && e.tid == tid)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc, ThreadId tid)
+{
+    Entry *e = findEntry(pc, tid);
+    if (!e)
+        return std::nullopt;
+    e->lruStamp = ++stamp;
+    return e->target;
+}
+
+void
+Btb::update(Addr pc, ThreadId tid, Addr target)
+{
+    Entry *e = findEntry(pc, tid);
+    if (!e) {
+        // Choose the LRU way of the set as the victim.
+        std::size_t base = setIndex(pc) * numWays;
+        e = &entries[base];
+        for (unsigned w = 1; w < numWays; ++w) {
+            Entry &cand = entries[base + w];
+            if (!cand.valid) {
+                e = &cand;
+                break;
+            }
+            if (cand.lruStamp < e->lruStamp)
+                e = &cand;
+        }
+        e->valid = true;
+        e->tag = pc;
+        e->tid = tid;
+    }
+    e->target = target;
+    e->lruStamp = ++stamp;
+}
+
+void
+Btb::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    stamp = 0;
+}
+
+} // namespace loopsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Branch target buffer: set-associative PC-to-target cache with LRU
+ * replacement and per-thread tagging.
+ */
+
+#ifndef LOOPSIM_BRANCH_BTB_HH
+#define LOOPSIM_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace loopsim
+{
+
+class Btb
+{
+  public:
+    /**
+     * @param entries total entries (power of two)
+     * @param ways    associativity (divides entries)
+     */
+    explicit Btb(std::size_t entries = 4096, unsigned ways = 4);
+
+    /** Predicted target of the branch at @p pc, if any. */
+    std::optional<Addr> lookup(Addr pc, ThreadId tid);
+
+    /** Install/refresh the target of @p pc. */
+    void update(Addr pc, ThreadId tid, Addr target);
+
+    void reset();
+
+    std::size_t sets() const { return numSets; }
+    unsigned associativity() const { return numWays; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        ThreadId tid = 0;
+        Addr target = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr pc) const;
+    Entry *findEntry(Addr pc, ThreadId tid);
+
+    std::size_t numSets;
+    unsigned numWays;
+    std::vector<Entry> entries;
+    std::uint64_t stamp = 0;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BRANCH_BTB_HH

@@ -1,0 +1,63 @@
+#include "branch/gshare.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+GsharePredictor::GsharePredictor(std::size_t entries, unsigned history_bits)
+    : table(entries, SatCounter(2, 2)), historyBits(history_bits),
+      historyMask((1ULL << history_bits) - 1)
+{
+    fatal_if(!isPowerOf2(entries), "gshare table size must be 2^n");
+    fatal_if(history_bits == 0 || history_bits > 32,
+             "gshare history bits out of range");
+    fatal_if((1ULL << history_bits) > entries,
+             "gshare history longer than the index space");
+}
+
+std::size_t
+GsharePredictor::index(Addr pc, std::uint64_t hist) const
+{
+    return ((pc >> 2) ^ hist) & (table.size() - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc, ThreadId tid)
+{
+    panic_if(tid >= maxThreads, "thread id out of range");
+    return table[index(pc, histories[tid])].msb();
+}
+
+void
+GsharePredictor::update(Addr pc, ThreadId tid, bool taken)
+{
+    panic_if(tid >= maxThreads, "thread id out of range");
+    // History is maintained non-speculatively: it advances only when a
+    // branch resolves, so squashes never leave it corrupted.
+    SatCounter &c = table[index(pc, histories[tid])];
+    if (taken)
+        c.increment();
+    else
+        c.decrement();
+    histories[tid] = ((histories[tid] << 1) | (taken ? 1u : 0u)) &
+                     historyMask;
+}
+
+void
+GsharePredictor::reset()
+{
+    for (auto &c : table)
+        c.set(2);
+    histories.fill(0);
+}
+
+std::uint64_t
+GsharePredictor::history(ThreadId tid) const
+{
+    panic_if(tid >= maxThreads, "thread id out of range");
+    return histories[tid];
+}
+
+} // namespace loopsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Gshare predictor: 2-bit counters indexed by PC xor global history,
+ * with per-thread history registers (SMT-safe).
+ */
+
+#ifndef LOOPSIM_BRANCH_GSHARE_HH
+#define LOOPSIM_BRANCH_GSHARE_HH
+
+#include <array>
+#include <vector>
+
+#include "base/sat_counter.hh"
+#include "branch/predictor.hh"
+
+namespace loopsim
+{
+
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    static constexpr unsigned maxThreads = 4;
+
+    /**
+     * @param entries       counter-table size (power of two)
+     * @param history_bits  global-history length; <= log2(entries)
+     */
+    explicit GsharePredictor(std::size_t entries = 16384,
+                             unsigned history_bits = 12);
+
+    bool predict(Addr pc, ThreadId tid) override;
+    void update(Addr pc, ThreadId tid, bool taken) override;
+    void reset() override;
+    std::string name() const override { return "gshare"; }
+
+    /** Current (speculatively updated) history of @p tid. */
+    std::uint64_t history(ThreadId tid) const;
+
+  private:
+    std::size_t index(Addr pc, std::uint64_t hist) const;
+
+    std::vector<SatCounter> table;
+    unsigned historyBits;
+    std::uint64_t historyMask;
+    std::array<std::uint64_t, maxThreads> histories{};
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BRANCH_GSHARE_HH

@@ -1,0 +1,40 @@
+#include "branch/predictor.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "branch/bimodal.hh"
+#include "branch/gshare.hh"
+#include "branch/tournament.hh"
+#include "sim/config.hh"
+
+namespace loopsim
+{
+
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const std::string &kind, const Config &cfg)
+{
+    std::string k = toLower(trim(kind));
+    if (k == "bimodal") {
+        return std::make_unique<BimodalPredictor>(
+            cfg.getUint("branch.bimodal.entries", 4096),
+            static_cast<unsigned>(cfg.getUint("branch.bimodal.bits", 2)));
+    }
+    if (k == "gshare") {
+        return std::make_unique<GsharePredictor>(
+            cfg.getUint("branch.gshare.entries", 16384),
+            static_cast<unsigned>(
+                cfg.getUint("branch.gshare.history", 12)));
+    }
+    if (k == "tournament") {
+        return std::make_unique<TournamentPredictor>(
+            cfg.getUint("branch.tournament.local_histories", 1024),
+            static_cast<unsigned>(
+                cfg.getUint("branch.tournament.local_bits", 10)),
+            cfg.getUint("branch.tournament.global_entries", 4096),
+            static_cast<unsigned>(
+                cfg.getUint("branch.tournament.global_bits", 12)));
+    }
+    fatal("unknown direction predictor kind: ", kind);
+}
+
+} // namespace loopsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Direction-predictor interface and factory.
+ *
+ * The core can run branches in two modes (see DESIGN.md): "predictor"
+ * mode uses these real predictors; "profile" mode uses the workload's
+ * calibrated per-branch mispredict tags. Both share this interface so
+ * the pipeline code is identical.
+ */
+
+#ifndef LOOPSIM_BRANCH_PREDICTOR_HH
+#define LOOPSIM_BRANCH_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+
+#include "base/types.hh"
+
+namespace loopsim
+{
+
+class Config;
+
+/** Predicts conditional-branch directions. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc on thread @p tid. */
+    virtual bool predict(Addr pc, ThreadId tid) = 0;
+
+    /**
+     * Train with the resolved outcome. Implementations also repair
+     * their speculative history here.
+     */
+    virtual void update(Addr pc, ThreadId tid, bool taken) = 0;
+
+    /** Clear all state. */
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Build a predictor by kind: "bimodal", "gshare" or "tournament".
+ * Table sizes are read from @p cfg under "branch.<kind>.*" keys.
+ * fatal() for unknown kinds.
+ */
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const std::string &kind, const Config &cfg);
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,67 @@
+#include "branch/ras.hh"
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+ReturnAddressStack::ReturnAddressStack(std::size_t entries)
+    : stack(entries, 0)
+{
+    fatal_if(entries == 0, "RAS must have at least one entry");
+}
+
+void
+ReturnAddressStack::push(Addr return_pc)
+{
+    stack[top] = return_pc;
+    top = (top + 1) % stack.size();
+    if (depth < stack.size())
+        ++depth;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (depth == 0)
+        return 0; // empty stack predicts nothing useful
+    top = (top + stack.size() - 1) % stack.size();
+    --depth;
+    return stack[top];
+}
+
+ReturnAddressStack::Checkpoint
+ReturnAddressStack::checkpoint() const
+{
+    Checkpoint cp;
+    cp.top = top;
+    cp.depth = depth;
+    cp.topValue = depth > 0
+        ? stack[(top + stack.size() - 1) % stack.size()] : 0;
+    return cp;
+}
+
+void
+ReturnAddressStack::restore(const Checkpoint &cp)
+{
+    // The pointer and depth are restored exactly; the value under the
+    // restored top is repaired as well, which fixes the common
+    // corruption where a wrong-path call overwrote the caller's entry.
+    top = cp.top;
+    depth = cp.depth;
+    if (depth > 0) {
+        std::size_t prev = (top + stack.size() - 1) % stack.size();
+        stack[prev] = cp.topValue;
+    }
+}
+
+void
+ReturnAddressStack::reset()
+{
+    top = 0;
+    depth = 0;
+    for (auto &a : stack)
+        a = 0;
+}
+
+} // namespace loopsim

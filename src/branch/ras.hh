@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Return-address stack with checkpoint/restore, so a squash can repair
+ * speculative pushes and pops.
+ */
+
+#ifndef LOOPSIM_BRANCH_RAS_HH
+#define LOOPSIM_BRANCH_RAS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace loopsim
+{
+
+class ReturnAddressStack
+{
+  public:
+    /** A restorable snapshot (top-of-stack pointer and its value). */
+    struct Checkpoint
+    {
+        std::size_t top;
+        std::size_t depth;
+        Addr topValue;
+    };
+
+    explicit ReturnAddressStack(std::size_t entries = 32);
+
+    /** Push a return address (a call was fetched). */
+    void push(Addr return_pc);
+
+    /** Pop the predicted return target (a return was fetched). */
+    Addr pop();
+
+    /** Current speculative state, for later restore(). */
+    Checkpoint checkpoint() const;
+
+    /** Undo back to @p cp (mis-speculation repair). */
+    void restore(const Checkpoint &cp);
+
+    void reset();
+
+    bool empty() const { return depth == 0; }
+    std::size_t size() const { return depth; }
+    std::size_t capacity() const { return stack.size(); }
+
+  private:
+    std::vector<Addr> stack;
+    std::size_t top = 0;   ///< index of the next free slot (mod N)
+    std::size_t depth = 0; ///< live entries (saturates at capacity)
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BRANCH_RAS_HH

@@ -1,0 +1,103 @@
+#include "branch/tournament.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+TournamentPredictor::TournamentPredictor(std::size_t local_histories,
+                                         unsigned local_bits,
+                                         std::size_t global_entries,
+                                         unsigned global_bits)
+    : localHistory(local_histories, 0),
+      localCounters(std::size_t(1) << local_bits, SatCounter(3, 4)),
+      globalCounters(global_entries, SatCounter(2, 2)),
+      choiceCounters(global_entries, SatCounter(2, 2)),
+      localBits(local_bits), globalBits(global_bits)
+{
+    fatal_if(!isPowerOf2(local_histories),
+             "local history table size must be 2^n");
+    fatal_if(!isPowerOf2(global_entries), "global table size must be 2^n");
+    fatal_if(local_bits == 0 || local_bits > 16,
+             "local history bits out of range");
+    fatal_if(global_bits == 0 || (1ULL << global_bits) > global_entries,
+             "global history bits out of range");
+}
+
+bool
+TournamentPredictor::localPredict(Addr pc) const
+{
+    std::size_t h_idx = (pc >> 2) & (localHistory.size() - 1);
+    std::uint32_t hist = localHistory[h_idx] & ((1u << localBits) - 1);
+    return localCounters[hist].msb();
+}
+
+bool
+TournamentPredictor::globalPredict(ThreadId tid) const
+{
+    std::size_t idx = globalHistory[tid] & (globalCounters.size() - 1);
+    return globalCounters[idx].msb();
+}
+
+bool
+TournamentPredictor::predict(Addr pc, ThreadId tid)
+{
+    panic_if(tid >= maxThreads, "thread id out of range");
+    std::size_t c_idx = globalHistory[tid] & (choiceCounters.size() - 1);
+    bool use_global = choiceCounters[c_idx].msb();
+    return use_global ? globalPredict(tid) : localPredict(pc);
+}
+
+void
+TournamentPredictor::update(Addr pc, ThreadId tid, bool taken)
+{
+    panic_if(tid >= maxThreads, "thread id out of range");
+
+    bool local_pred = localPredict(pc);
+    bool global_pred = globalPredict(tid);
+
+    // Train the chooser toward whichever component was right, when
+    // they disagree.
+    std::size_t c_idx = globalHistory[tid] & (choiceCounters.size() - 1);
+    if (local_pred != global_pred) {
+        if (global_pred == taken)
+            choiceCounters[c_idx].increment();
+        else
+            choiceCounters[c_idx].decrement();
+    }
+
+    // Train the components.
+    std::size_t h_idx = (pc >> 2) & (localHistory.size() - 1);
+    std::uint32_t hist = localHistory[h_idx] & ((1u << localBits) - 1);
+    if (taken)
+        localCounters[hist].increment();
+    else
+        localCounters[hist].decrement();
+    localHistory[h_idx] = ((hist << 1) | (taken ? 1u : 0u)) &
+                          ((1u << localBits) - 1);
+
+    std::size_t g_idx = globalHistory[tid] & (globalCounters.size() - 1);
+    if (taken)
+        globalCounters[g_idx].increment();
+    else
+        globalCounters[g_idx].decrement();
+    globalHistory[tid] = ((globalHistory[tid] << 1) | (taken ? 1u : 0u)) &
+                         ((1ULL << globalBits) - 1);
+}
+
+void
+TournamentPredictor::reset()
+{
+    for (auto &h : localHistory)
+        h = 0;
+    for (auto &c : localCounters)
+        c.set(4);
+    for (auto &c : globalCounters)
+        c.set(2);
+    for (auto &c : choiceCounters)
+        c.set(2);
+    globalHistory.fill(0);
+}
+
+} // namespace loopsim

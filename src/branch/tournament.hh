@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Alpha-21264-style tournament predictor: a local predictor (per-branch
+ * history feeding a counter table), a global predictor, and a choice
+ * table selecting between them per global history.
+ */
+
+#ifndef LOOPSIM_BRANCH_TOURNAMENT_HH
+#define LOOPSIM_BRANCH_TOURNAMENT_HH
+
+#include <array>
+#include <vector>
+
+#include "base/sat_counter.hh"
+#include "branch/predictor.hh"
+
+namespace loopsim
+{
+
+class TournamentPredictor : public DirectionPredictor
+{
+  public:
+    static constexpr unsigned maxThreads = 4;
+
+    /**
+     * @param local_histories  entries in the per-branch history table
+     * @param local_bits       length of each local history
+     * @param global_entries   size of global and choice tables
+     * @param global_bits      global history length
+     */
+    TournamentPredictor(std::size_t local_histories = 1024,
+                        unsigned local_bits = 10,
+                        std::size_t global_entries = 4096,
+                        unsigned global_bits = 12);
+
+    bool predict(Addr pc, ThreadId tid) override;
+    void update(Addr pc, ThreadId tid, bool taken) override;
+    void reset() override;
+    std::string name() const override { return "tournament"; }
+
+  private:
+    bool localPredict(Addr pc) const;
+    bool globalPredict(ThreadId tid) const;
+
+    std::vector<std::uint32_t> localHistory;
+    std::vector<SatCounter> localCounters; ///< 3-bit, indexed by history
+    std::vector<SatCounter> globalCounters;
+    std::vector<SatCounter> choiceCounters; ///< msb => use global
+    unsigned localBits;
+    unsigned globalBits;
+    std::array<std::uint64_t, maxThreads> globalHistory{};
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_BRANCH_TOURNAMENT_HH

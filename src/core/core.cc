@@ -1,0 +1,521 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include "base/debug.hh"
+#include "base/logging.hh"
+#include "sim/config.hh"
+
+namespace loopsim
+{
+
+Core::Core(const Config &config, std::vector<TraceSource *> sources)
+    : cfg(MachineConfig::fromConfig(config)),
+      mem(std::make_unique<MemoryHierarchy>(config)),
+      pool(cfg.robEntries), prf(cfg.numPhysRegs), iq(cfg.iqEntries),
+      fwd(cfg.fwdBufferDepth), sg("core")
+{
+    fatal_if(sources.empty(), "core needs at least one trace source");
+    fatal_if(sources.size() > 2, "core supports at most 2 SMT threads");
+
+    if (cfg.dra) {
+        draUnit = std::make_unique<DraUnit>(
+            cfg.numPhysRegs, cfg.numClusters, cfg.crcEntries,
+            parseCrcRepl(cfg.crcRepl), cfg.insertionTableBits,
+            cfg.crcTimeout);
+    }
+    if (cfg.timelineDepth > 0)
+        timelineRec = std::make_unique<TimelineRecorder>(cfg.timelineDepth);
+    if (cfg.memOrderTraps) {
+        memDep = std::make_unique<MemDepPredictor>(cfg.memDepEntries,
+                                                   cfg.memDepClear);
+    }
+    if (cfg.branchMode == BranchMode::Predictor) {
+        predictor = makeDirectionPredictor(cfg.predictorKind, config);
+        btb = std::make_unique<Btb>(
+            config.getUint("branch.btb.entries", 4096),
+            static_cast<unsigned>(config.getUint("branch.btb.ways", 4)));
+    }
+
+    threads.resize(sources.size());
+    for (std::size_t t = 0; t < sources.size(); ++t) {
+        panic_if(!sources[t], "null trace source");
+        threads[t].src = sources[t];
+        threads[t].map = std::make_unique<RenameMap>(
+            RegLayout::numArchRegs, prf);
+        if (draUnit) {
+            // Boot-time architectural values live in the RF, so their
+            // RPFT bits start set (completed operands).
+            for (ArchReg r = 0; r < RegLayout::numArchRegs; ++r)
+                draUnit->writeback(threads[t].map->lookup(r));
+        }
+    }
+
+    buildStats();
+}
+
+Core::~Core() = default;
+
+void
+Core::buildStats()
+{
+    cycles = &sg.newScalar("cycles", "simulated cycles");
+    fetchedOps = &sg.newScalar("fetched", "correct-path ops fetched");
+    wrongPathOps = &sg.newScalar("wrongPathFetched",
+                                 "wrong-path ops fetched");
+    renamedOps = &sg.newScalar("renamed", "ops renamed");
+    issuedOps = &sg.newScalar("issued", "issue events (incl. reissues)");
+    reissuedOps = &sg.newScalar("reissued",
+                                "issue events that were reissues "
+                                "(useless work indicator)");
+    retiredTotal = &sg.newScalar("retired", "ops retired");
+    squashedOps = &sg.newScalar("squashed",
+                                "renamed ops squashed by recovery");
+    branchesRetired = &sg.newScalar("branches", "branches retired");
+    branchMispredicts = &sg.newScalar("branchMispredicts",
+                                      "mispredicted branches resolved");
+    loadMissEvents = &sg.newScalar("loadMissEvents",
+                                   "load-resolution-loop mis-speculations");
+    loadKilledOps = &sg.newScalar("loadKilledOps",
+                                  "issued ops killed by load/operand "
+                                  "loop recovery");
+    tlbTraps = &sg.newScalar("tlbTraps",
+                             "memory traps recovered from fetch");
+    memOrderTrapCount = &sg.newScalar("memOrderTraps",
+                                      "load/store reorder traps");
+    operandMissEvents = &sg.newScalar("operandMissEvents",
+                                      "DRA operand-resolution-loop "
+                                      "mis-speculations");
+    recoveryStallCycles = &sg.newScalar("recoveryStallCycles",
+                                        "front-end stall cycles during "
+                                        "operand-miss recovery");
+    loadLevels = &sg.newVector("loadLevel",
+                               "where loads were satisfied",
+                               {"l1", "l2", "memory"});
+    operandSources = &sg.newVector(
+        "operandSource", "where register source operands were read",
+        {"preread", "forward", "crc", "regfile", "payload", "miss"});
+    iqOccupancy = &sg.newAverage("iqOccupancy", "IQ entries held");
+    robOccupancy = &sg.newAverage("robOccupancy",
+                                  "instructions in flight");
+    operandGap = &sg.newDistribution(
+        "operandGap",
+        "cycles between availability of an instruction's first and "
+        "second source operands (Figure 6)", 0, 256, 1);
+    loadLatency = &sg.newDistribution(
+        "loadLatency", "data-ready latency of valid load executions",
+        0, 256, 4);
+}
+
+void
+Core::schedule(Event ev)
+{
+    ev.order = ++eventOrder;
+    events.push(ev);
+}
+
+void
+Core::processEvents(Cycle now)
+{
+    while (!events.empty() && events.top().cycle <= now) {
+        Event ev = events.top();
+        events.pop();
+        panic_if(ev.cycle < now, "event missed its cycle");
+
+        switch (ev.type) {
+          case EventType::Writeback: {
+            // The value leaves the forwarding buffer and lands in the
+            // RF — unless a kill/squash/reallocation superseded it.
+            if (prf.live(ev.reg) &&
+                prf.actualReadyAt(ev.reg) == ev.expect) {
+                prf.setWriteback(ev.reg, now);
+                if (draUnit)
+                    draUnit->writeback(ev.reg, now);
+            }
+            break;
+          }
+          case EventType::ExecStart:
+            startExecution(ev.ref, now, ev.issueStamp);
+            break;
+          case EventType::LoadMissKill: {
+            if (!pool.live(ev.ref))
+                break;
+            DynInst &inst = pool.get(ev.ref);
+            panic_if(inst.pendingEvents == 0, "pending-event underflow");
+            --inst.pendingEvents;
+            // issueStamp == invalidCycle marks an operand-miss tree
+            // kill, which stays valid across the faulter's revert.
+            if (ev.issueStamp != invalidCycle &&
+                inst.issueCycle != ev.issueStamp) {
+                break;
+            }
+            if (cfg.killAllInShadow && inst.op.isLoad())
+                killLoadShadow(inst, now);
+            else
+                killDependencyTree(ev.ref, now);
+            break;
+          }
+          case EventType::TlbTrap: {
+            if (!pool.live(ev.ref))
+                break;
+            DynInst &inst = pool.get(ev.ref);
+            panic_if(inst.pendingEvents == 0, "pending-event underflow");
+            --inst.pendingEvents;
+            if (inst.issueCycle != ev.issueStamp)
+                break;
+            // Memory trap: recover from the front of the pipeline.
+            killDependencyTree(ev.ref, now);
+            squashYounger(inst.op.tid, inst.fetchStamp, now);
+            break;
+          }
+          case EventType::OrderTrap: {
+            // Load/store reorder trap: the load (and everything after
+            // it) restarts from fetch; the wait table was already
+            // trained at detection.
+            if (!pool.live(ev.ref))
+                break;
+            DynInst &inst = pool.get(ev.ref);
+            panic_if(inst.pendingEvents == 0, "pending-event underflow");
+            --inst.pendingEvents;
+            squashYounger(inst.op.tid, inst.fetchStamp - 1, now);
+            break;
+          }
+          case EventType::BranchRedirect: {
+            if (!pool.live(ev.ref))
+                break;
+            DynInst &inst = pool.get(ev.ref);
+            panic_if(inst.pendingEvents == 0, "pending-event underflow");
+            --inst.pendingEvents;
+            if (inst.issueCycle != ev.issueStamp)
+                break;
+            inst.redirectDone = true;
+            squashYounger(inst.op.tid, inst.fetchStamp, now);
+            break;
+          }
+          case EventType::PayloadDelivery: {
+            if (!pool.live(ev.ref))
+                break;
+            DynInst &inst = pool.get(ev.ref);
+            if (!inst.waitingRecovery)
+                break;
+            for (unsigned i = 0; i < 2; ++i) {
+                if (ev.reg & (1u << i)) {
+                    inst.operandInPayload[i] = true;
+                    inst.payloadFromRecovery[i] = true;
+                }
+            }
+            inst.waitingRecovery = false;
+            break;
+          }
+          default:
+            panic("unknown event type");
+        }
+    }
+}
+
+void
+Core::killInstruction(DynInst &inst)
+{
+    panic_if(inst.state != InstState::Issued &&
+                 inst.state != InstState::Done,
+             "killing an instruction that is not issued");
+    panic_if(inst.iqSlot == 0xffff,
+             "killing an instruction whose IQ entry was already freed");
+    LTRACE(Kill, lastCycle ? lastCycle - 1 : 0,
+           inst.op.toString() << " killed/reverted");
+    inst.state = InstState::InIq;
+    inst.issueCycle = invalidCycle;
+    inst.execStartCycle = invalidCycle;
+    inst.produceCycle = invalidCycle;
+    inst.confirmCycle = invalidCycle;
+    inst.execValid = false;
+    inst.memDone = false;
+    // A branch killed before its redirect went out must resolve again
+    // on reissue; one whose redirect already happened must not redirect
+    // a second time.
+    if (inst.op.isBranch() && !inst.redirectDone) {
+        inst.branchResolved = false;
+        inst.mispredicted = false;
+    }
+    // A killed store will re-execute: it is outstanding again for
+    // memory-ordering purposes.
+    if (inst.op.isStore() && inst.storeExecCounted) {
+        inst.storeExecCounted = false;
+        threads[inst.op.tid].unexecStoreSeqs.insert(inst.storeSeq);
+    }
+    if (inst.op.hasDest()) {
+        prf.clearIssueReady(inst.physDest);
+        prf.clearActualReady(inst.physDest);
+    }
+    *loadKilledOps += 1;
+}
+
+void
+Core::killDependencyTree(InstRef root, Cycle now)
+{
+    // §2.2.2: only instructions in the load (or faulting operand's)
+    // dependency tree that have already issued are reissued. The IQ
+    // learns of the mis-speculation all at once, `now`, so the whole
+    // issued tree is reverted in this cycle.
+    std::vector<InstRef> work;
+    work.push_back(root);
+    while (!work.empty()) {
+        InstRef ref = work.back();
+        work.pop_back();
+        // Copy: killInstruction does not mutate consumer lists, but
+        // keep iteration robust against future edits.
+        const std::vector<InstRef> consumers = pool.get(ref).consumers;
+        for (const InstRef &c : consumers) {
+            if (!pool.live(c))
+                continue;
+            DynInst &ci = pool.get(c);
+            if (ci.state != InstState::Issued &&
+                ci.state != InstState::Done) {
+                continue; // not issued: it simply waits
+            }
+            killInstruction(ci);
+            work.push_back(c);
+        }
+    }
+    (void)now;
+}
+
+void
+Core::killLoadShadow(const DynInst &load, Cycle now)
+{
+    // 21264-style recovery: every instruction of the thread issued in
+    // the load shadow is killed, in the dependency tree or not.
+    for (InstRef ref : iq.occupants()) {
+        DynInst &inst = pool.get(ref);
+        if (inst.op.tid != load.op.tid)
+            continue;
+        if (inst.state != InstState::Issued &&
+            inst.state != InstState::Done) {
+            continue;
+        }
+        if (&inst == &load)
+            continue;
+        if (inst.issueCycle == invalidCycle ||
+            inst.issueCycle <= load.issueCycle) {
+            continue; // issued before the shadow opened
+        }
+        killInstruction(inst);
+    }
+    (void)now;
+}
+
+void
+Core::squashYounger(ThreadId tid, std::uint64_t stamp, Cycle now)
+{
+    LTRACE(Squash, now, "thread " << int(tid)
+           << " squash younger than stamp " << stamp);
+    ThreadState &t = threads[tid];
+
+    // Fetch buffer: everything there is younger than any renamed op of
+    // this thread. Correct-path victims must be refetched later.
+    std::vector<MicroOp> replay;
+    for (const FetchedOp &f : t.fetchBuffer) {
+        if (!f.op.wrongPath)
+            replay.push_back(f.op);
+    }
+    t.fetchBuffer.clear();
+
+    // ROB suffix walk: youngest first, undoing rename as we go.
+    std::vector<MicroOp> renamed_replay;
+    while (!t.rob.empty()) {
+        InstRef ref = t.rob.tail();
+        DynInst &inst = pool.get(ref);
+        if (inst.fetchStamp <= stamp)
+            break;
+        t.rob.popTail();
+        if (inst.iqSlot != 0xffff) {
+            iq.remove(pool, ref);
+            panic_if(t.iqCount == 0, "iq count underflow");
+            --t.iqCount;
+        }
+        if (inst.op.hasDest()) {
+            t.map->restore(inst.op.dest, inst.prevPhysDest);
+            prf.free(inst.physDest);
+            if (draUnit)
+                draUnit->regFreed(inst.physDest);
+        }
+        if (inst.op.isStore() && !inst.storeExecCounted)
+            t.unexecStoreSeqs.erase(inst.storeSeq);
+        if (!inst.op.wrongPath)
+            renamed_replay.push_back(inst.op);
+        *squashedOps += 1;
+        pool.release(ref);
+    }
+
+    // Drop this thread's squashed entries from the DEC-IQ pipe.
+    std::erase_if(renamePipe, [&](const PendingInsert &p) {
+        if (p.tid != tid || pool.live(p.ref))
+            return false;
+        panic_if(t.pipeCount == 0, "pipe count underflow");
+        --t.pipeCount;
+        return true;
+    });
+
+    // Rebuild the replay queue in program order: renamed victims are
+    // the oldest, then fetch-buffer victims, then whatever was already
+    // awaiting replay.
+    for (auto it = replay.rbegin(); it != replay.rend(); ++it)
+        t.replayQueue.push_front(*it);
+    // renamed_replay was collected youngest-first.
+    for (const MicroOp &op : renamed_replay)
+        t.replayQueue.push_front(op);
+
+    t.onWrongPath = false;
+    t.wrongPathResume = invalidSeqNum;
+    t.fetchResumeAt = std::max(t.fetchResumeAt, now);
+}
+
+void
+Core::tick(Cycle now)
+{
+    lastCycle = now + 1;
+    *cycles += 1;
+
+    processEvents(now);
+    retireStage(now);
+    issueStage(now);
+    insertStage(now);
+    renameStage(now);
+    fetchStage(now);
+
+    iqOccupancy->sample(static_cast<double>(iq.size()));
+    robOccupancy->sample(static_cast<double>(pool.inUse()));
+}
+
+bool
+Core::backendDrained() const
+{
+    for (const ThreadState &t : threads) {
+        if (!t.rob.empty() || !t.fetchBuffer.empty() ||
+            !t.replayQueue.empty()) {
+            return false;
+        }
+        if (!t.exhausted)
+            return false;
+    }
+    return renamePipe.empty();
+}
+
+bool
+Core::done() const
+{
+    return backendDrained();
+}
+
+std::uint64_t
+Core::retiredOps() const
+{
+    std::uint64_t n = 0;
+    for (const ThreadState &t : threads)
+        n += t.retired;
+    return n;
+}
+
+void
+Core::checkQuiescent() const
+{
+    panic_if(!done(), "checkQuiescent before the machine drained");
+    panic_if(pool.inUse() != 0, "instruction pool leak: ",
+             pool.inUse(), " entries still allocated");
+    panic_if(iq.size() != 0, "IQ leak: ", iq.size(),
+             " entries still held");
+    // Live registers must be exactly the architectural state.
+    std::size_t arch_regs =
+        threads.size() * std::size_t(RegLayout::numArchRegs);
+    panic_if(prf.numFree() + arch_regs != prf.size(),
+             "physical register leak: ", prf.size() - prf.numFree(),
+             " live, expected ", arch_regs);
+    for (const ThreadState &t : threads) {
+        panic_if(t.pipeCount != 0 || t.iqCount != 0,
+                 "stage counters did not drain");
+        panic_if(!t.unexecStoreSeqs.empty(),
+                 "memory-ordering state did not drain: ",
+                 t.unexecStoreSeqs.size(), " stores outstanding");
+    }
+}
+
+void
+Core::beginMeasurement()
+{
+    sg.resetAll();
+    measureStartCycle = lastCycle;
+    measureStartRetired = retiredOps();
+}
+
+std::uint64_t
+Core::retiredOps(ThreadId tid) const
+{
+    panic_if(tid >= threads.size(), "thread id out of range");
+    return threads[tid].retired;
+}
+
+void
+Core::debugDump(std::ostream &os) const
+{
+    os << "=== core state @ cycle " << lastCycle << " ===\n";
+    os << "pool in use " << pool.inUse() << "/" << pool.capacity()
+       << ", IQ " << iq.size() << "/" << iq.entries() << ", pipe "
+       << renamePipe.size() << ", events " << events.size() << "\n";
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        const ThreadState &ts = threads[t];
+        os << "thread " << t << ": rob " << ts.rob.size()
+           << " fetchBuf " << ts.fetchBuffer.size() << " replay "
+           << ts.replayQueue.size() << " iqCount " << ts.iqCount
+           << " exhausted " << ts.exhausted << " wrongPath "
+           << ts.onWrongPath << " resumeAt " << ts.fetchResumeAt
+           << "\n";
+        if (!ts.rob.empty()) {
+            const DynInst &h = pool.get(ts.rob.head());
+            os << "  rob head: " << h.op.toString() << " state "
+               << int(h.state) << " issueCycle " << h.issueCycle
+               << " execStart " << h.execStartCycle << " produce "
+               << h.produceCycle << " confirm " << h.confirmCycle
+               << " pendingEvents " << h.pendingEvents
+               << " waitingRecovery " << h.waitingRecovery
+               << " mispred " << h.mispredicted << " redirectDone "
+               << h.redirectDone << " payload["
+               << h.operandInPayload[0] << h.operandInPayload[1]
+               << "]";
+            for (unsigned i = 0; i < 2; ++i) {
+                if (h.physSrc[i] == invalidPhysReg)
+                    continue;
+                os << " src" << i << "=p" << h.physSrc[i] << "(issueRdy "
+                   << prf.issueReadyAt(h.physSrc[i]) << ", actual "
+                   << prf.actualReadyAt(h.physSrc[i]) << ", live "
+                   << prf.live(h.physSrc[i]) << ", prodLive "
+                   << pool.live(prf.producer(h.physSrc[i]))
+                   << ", renameProdLive " << pool.live(h.srcProducer[i])
+                   << ")";
+                if (pool.live(prf.producer(h.physSrc[i]))) {
+                    const DynInst &p =
+                        pool.get(prf.producer(h.physSrc[i]));
+                    os << "\n    producer: " << p.op.toString()
+                       << " state " << int(p.state) << " issue "
+                       << p.issueCycle << " exec " << p.execStartCycle
+                       << " valid " << p.execValid << " pend "
+                       << p.pendingEvents << " waitRec "
+                       << p.waitingRecovery << " stamp " << p.fetchStamp
+                       << " (head stamp " << h.fetchStamp << ")";
+                }
+            }
+            os << "\n";
+        }
+    }
+}
+
+double
+Core::ipc() const
+{
+    Cycle cycles_measured = cyclesRun();
+    std::uint64_t retired_measured = retiredOps() - measureStartRetired;
+    return cycles_measured ? static_cast<double>(retired_measured) /
+                                 static_cast<double>(cycles_measured)
+                           : 0.0;
+}
+
+} // namespace loopsim

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * The simulated processor core: an 8-wide, clustered, SMT, out-of-order
+ * pipeline modelled at cycle granularity, reproducing the base machine
+ * of "Loose Loops Sink Chips" (HPCA 2002) §2 and, when enabled, the
+ * Distributed Register Algorithm of §4-§5.
+ *
+ * Loop discipline: every feedback signal — load hit/miss, branch
+ * resolution, DRA operand miss — becomes visible to its initiation
+ * stage only after the configured loop delay, mirroring the paper's
+ * (ASIM-enforced) no-global-knowledge rule. Speculation is repaired by
+ * issue-stage reissue (load/operand loops) or fetch-stage squash
+ * (branch loop, memory traps), with rename-map rollback by ROB walk.
+ */
+
+#ifndef LOOPSIM_CORE_CORE_HH
+#define LOOPSIM_CORE_CORE_HH
+
+#include <deque>
+#include <set>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+#include "branch/btb.hh"
+#include "branch/predictor.hh"
+#include "core/dyn_inst.hh"
+#include "core/forwarding_buffer.hh"
+#include "core/instruction_queue.hh"
+#include "core/machine_config.hh"
+#include "core/mem_dep.hh"
+#include "core/register_file.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "core/timeline.hh"
+#include "dra/dra_unit.hh"
+#include "mem/hierarchy.hh"
+#include "sim/simulator.hh"
+#include "stats/statistics.hh"
+#include "workload/generator.hh"
+
+namespace loopsim
+{
+
+class Config;
+
+class Core : public Clocked
+{
+  public:
+    /**
+     * @param cfg     raw configuration ("core.*", "dra.*", "mem.*",
+     *                "branch.*" keys)
+     * @param sources one trace source per hardware thread (not owned;
+     *                must outlive the core)
+     */
+    Core(const Config &cfg, std::vector<TraceSource *> sources);
+    ~Core() override;
+
+    void tick(Cycle now) override;
+    bool done() const override;
+    std::string name() const override { return "core"; }
+
+    /** @name Results */
+    /// @{
+    std::uint64_t retiredOps() const;
+    std::uint64_t retiredOps(ThreadId tid) const;
+    Cycle cyclesRun() const { return lastCycle - measureStartCycle; }
+    double ipc() const;
+
+    /**
+     * End the warmup phase: reset all statistics and measure IPC from
+     * this point on (the caches, predictors and pipeline keep their
+     * state, like the paper's warmed measurement runs).
+     */
+    void beginMeasurement();
+    /// @}
+
+    const MachineConfig &machine() const { return cfg; }
+    stats::StatGroup &statGroup() { return sg; }
+    const stats::StatGroup &statGroup() const { return sg; }
+    const MemoryHierarchy &memory() const { return *mem; }
+    const DraUnit *dra() const { return draUnit.get(); }
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+    /** Diagnostic dump of pipeline state (stuck-pipeline debugging). */
+    void debugDump(std::ostream &os) const;
+
+    /**
+     * Panic unless the machine has fully drained: no instructions in
+     * flight, every IQ slot free, and every physical register either
+     * architecturally mapped or on the free list. Call after done();
+     * catches resource leaks in recovery paths.
+     */
+    void checkQuiescent() const;
+
+    /** Empirical CDF source for Figure 6. */
+    const stats::Distribution &operandGapStat() const
+    {
+        return *operandGap;
+    }
+    /** Operand-location breakdown for Figure 9. */
+    const stats::Vector &operandSourceStat() const
+    {
+        return *operandSources;
+    }
+
+    /** Retired-instruction timeline (nullptr unless core.timeline>0). */
+    const TimelineRecorder *timeline() const { return timelineRec.get(); }
+
+  private:
+    /** @name Pipeline event machinery */
+    /// @{
+    enum class EventType : std::uint8_t
+    {
+        Writeback,      ///< value leaves fwd buffer, lands in RF
+        LoadMissKill,   ///< load-resolution-loop mis-speculation at IQ
+        TlbTrap,        ///< memory trap: front-of-pipe recovery
+        OrderTrap,      ///< load/store reorder trap: refetch the load
+        BranchRedirect, ///< branch-resolution-loop repair at fetch
+        ExecStart,      ///< instruction reaches the functional unit
+        PayloadDelivery ///< operand-miss recovery reaches the payload
+    };
+
+    struct Event
+    {
+        Cycle cycle;
+        EventType type;
+        std::uint64_t order; ///< FIFO tie-break within a cycle
+        InstRef ref;
+        Cycle issueStamp = invalidCycle; ///< staleness check
+        PhysReg reg = invalidPhysReg;    ///< Writeback payload
+        Cycle expect = invalidCycle;     ///< Writeback produce check
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (cycle != o.cycle)
+                return cycle > o.cycle;
+            if (type != o.type)
+                return type > o.type;
+            return order > o.order;
+        }
+    };
+
+    void schedule(Event ev);
+    void processEvents(Cycle now);
+    /// @}
+
+    /** An op waiting to reach the rename point. */
+    struct FetchedOp
+    {
+        MicroOp op;
+        Cycle renameReadyAt;
+    };
+
+    /** A renamed op traversing the rest of the DEC-IQ pipe. */
+    struct PendingInsert
+    {
+        InstRef ref;
+        Cycle insertAt;
+        ThreadId tid;
+    };
+
+    struct ThreadState
+    {
+        TraceSource *src = nullptr;
+        std::unique_ptr<RenameMap> map;
+        ReorderBuffer rob;
+        std::deque<FetchedOp> fetchBuffer;
+        std::deque<MicroOp> replayQueue;
+        bool exhausted = false;
+        bool onWrongPath = false;
+        SeqNum wrongPathResume = invalidSeqNum;
+        Cycle fetchResumeAt = 0;
+        unsigned pipeCount = 0; ///< this thread's PendingInsert entries
+        unsigned iqCount = 0;
+        std::uint64_t fetched = 0;
+        std::uint64_t retired = 0;
+        /** Memory-ordering state: store sequence numbering and the
+         *  set of renamed-but-unexecuted store sequence numbers. */
+        std::uint64_t storeRenameCount = 0;
+        std::set<std::uint64_t> unexecStoreSeqs;
+    };
+
+    /** @name Stage logic (one call per cycle each) */
+    /// @{
+    void fetchStage(Cycle now);
+    void renameStage(Cycle now);
+    void insertStage(Cycle now);
+    void issueStage(Cycle now);
+    void retireStage(Cycle now);
+    /// @}
+
+    /** Fetch helpers. */
+    ThreadId pickFetchThread(Cycle now);
+    bool fetchOne(ThreadState &t, ThreadId tid, Cycle now);
+    void resolvePrediction(MicroOp &op, ThreadId tid);
+
+    /** Rename one op; returns false when resources stall it. */
+    bool renameOne(ThreadState &t, ThreadId tid, FetchedOp &fop,
+                   Cycle now);
+
+    /** Execution. */
+    void startExecution(InstRef ref, Cycle exec_start, Cycle issue_stamp);
+    void executeValid(DynInst &inst, InstRef ref, Cycle exec_start);
+    void handleLoadExec(DynInst &inst, InstRef ref, Cycle exec_start);
+    void handleBranchExec(DynInst &inst, InstRef ref, Cycle exec_start);
+    void handleOperandMiss(DynInst &inst, InstRef ref, Cycle exec_start,
+                           unsigned miss_mask);
+
+    /** Revert an issued instruction to waiting state. */
+    void killInstruction(DynInst &inst);
+    /** Kill the issued dependency tree rooted at @p root (§2.2.2). */
+    void killDependencyTree(InstRef root, Cycle now);
+    /** 21264 mode: kill everything issued in the load shadow. */
+    void killLoadShadow(const DynInst &load, Cycle now);
+
+    /** Squash all ops of @p tid younger than @p stamp (fetch-stage
+     *  recovery); correct-path victims go to the replay queue. */
+    void squashYounger(ThreadId tid, std::uint64_t stamp, Cycle now);
+
+    /** Memory-ordering bookkeeping for a store's first valid
+     *  execution: mark it executed and detect reorder traps. */
+    void handleStoreOrdering(DynInst &inst, InstRef ref,
+                             Cycle exec_start);
+
+    /** Operand classification at execute (Figure 9 accounting). */
+    OperandSource classifyOperand(const DynInst &inst, unsigned idx,
+                                  Cycle exec_start);
+
+    void buildStats();
+    bool backendDrained() const;
+
+    MachineConfig cfg;
+    std::unique_ptr<MemoryHierarchy> mem;
+    std::unique_ptr<DraUnit> draUnit;
+    std::unique_ptr<DirectionPredictor> predictor;
+    std::unique_ptr<Btb> btb;
+    std::unique_ptr<MemDepPredictor> memDep;
+    std::unique_ptr<TimelineRecorder> timelineRec;
+
+    InstPool pool;
+    PhysRegFile prf;
+    InstructionQueue iq;
+    ForwardingBuffer fwd;
+
+    std::vector<ThreadState> threads;
+    std::deque<PendingInsert> renamePipe;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events;
+    std::uint64_t eventOrder = 0;
+
+    std::uint64_t fetchStampCounter = 0;
+    unsigned clusterCursor = 0;
+    unsigned rrFetchCursor = 0;
+    Cycle renameStallUntil = 0; ///< DRA recovery borrows the RF ports
+    Cycle lastCycle = 0;
+    Cycle measureStartCycle = 0;
+    std::uint64_t measureStartRetired = 0;
+
+    /** @name Statistics */
+    /// @{
+    stats::StatGroup sg;
+    stats::Scalar *cycles = nullptr;
+    stats::Scalar *fetchedOps = nullptr;
+    stats::Scalar *wrongPathOps = nullptr;
+    stats::Scalar *renamedOps = nullptr;
+    stats::Scalar *issuedOps = nullptr;
+    stats::Scalar *reissuedOps = nullptr;
+    stats::Scalar *retiredTotal = nullptr;
+    stats::Scalar *squashedOps = nullptr;
+    stats::Scalar *branchesRetired = nullptr;
+    stats::Scalar *branchMispredicts = nullptr;
+    stats::Scalar *loadMissEvents = nullptr;
+    stats::Scalar *loadKilledOps = nullptr;
+    stats::Scalar *tlbTraps = nullptr;
+    stats::Scalar *memOrderTrapCount = nullptr;
+    stats::Scalar *operandMissEvents = nullptr;
+    stats::Scalar *recoveryStallCycles = nullptr;
+    stats::Vector *loadLevels = nullptr;
+    stats::Vector *operandSources = nullptr;
+    stats::Average *iqOccupancy = nullptr;
+    stats::Average *robOccupancy = nullptr;
+    stats::Distribution *operandGap = nullptr;
+    stats::Distribution *loadLatency = nullptr;
+    /// @}
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_CORE_CORE_HH

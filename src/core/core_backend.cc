@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Core back end: wakeup/select and issue, execution with operand
+ * delivery (base RF path or DRA), the load/operand/branch resolution
+ * loops, and in-order retire.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "base/debug.hh"
+#include "base/logging.hh"
+#include "core/core.hh"
+
+namespace loopsim
+{
+
+namespace
+{
+
+/** Bins of the loadLevel stat vector. */
+std::size_t
+levelBin(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1: return 0;
+      case MemLevel::L2: return 1;
+      case MemLevel::Memory: return 2;
+      default: panic("unknown memory level");
+    }
+}
+
+/** Bins of the operandSource stat vector. */
+std::size_t
+sourceBin(OperandSource src)
+{
+    switch (src) {
+      case OperandSource::PreRead: return 0;
+      case OperandSource::Forward: return 1;
+      case OperandSource::Crc: return 2;
+      case OperandSource::RegFile: return 3;
+      case OperandSource::Payload: return 4;
+      case OperandSource::Miss: return 5;
+      default: panic("operand source without a stat bin");
+    }
+}
+
+} // anonymous namespace
+
+void
+Core::issueStage(Cycle now)
+{
+    // Confirm-free pass: issued instructions leave the IQ once the
+    // execute stage has had time to notify that no reissue is needed
+    // (loop delay) plus the clear delay (§2.2.2).
+    {
+        // Collect first: removal invalidates iteration order.
+        std::vector<InstRef> to_free;
+        for (InstRef ref : iq.occupants()) {
+            const DynInst &inst = pool.get(ref);
+            if (inst.state == InstState::Done &&
+                inst.confirmCycle != invalidCycle &&
+                now >= inst.confirmCycle && inst.pendingEvents == 0) {
+                to_free.push_back(ref);
+            }
+        }
+        for (InstRef ref : to_free) {
+            DynInst &inst = pool.get(ref);
+            iq.remove(pool, ref);
+            ThreadState &t = threads[inst.op.tid];
+            panic_if(t.iqCount == 0, "iq count underflow");
+            --t.iqCount;
+        }
+    }
+
+    // Wakeup/select: one instruction per cluster per cycle, oldest
+    // ready first (§2: 8 x 1-wide arbiters over the unified queue).
+    std::vector<InstRef> winner(cfg.numClusters, InstRef{});
+    std::vector<std::uint64_t> winner_age(cfg.numClusters, 0);
+
+    for (InstRef ref : iq.occupants()) {
+        const DynInst &inst = pool.get(ref);
+        if (inst.state != InstState::InIq || inst.waitingRecovery)
+            continue;
+        if (inst.insertCycle == invalidCycle || inst.insertCycle >= now)
+            continue; // cannot issue in the insertion cycle
+        bool ready = true;
+        for (unsigned i = 0; i < 2 && ready; ++i) {
+            if (inst.physSrc[i] == invalidPhysReg)
+                continue;
+            if (inst.operandInPayload[i])
+                continue;
+            if (!prf.issueReady(inst.physSrc[i], now))
+                ready = false;
+        }
+        if (!ready)
+            continue;
+        // A load whose wait bit is set holds at issue until every
+        // older same-thread store has executed (memory trap loop).
+        if (memDep && inst.op.isLoad()) {
+            const auto &seqs =
+                threads[inst.op.tid].unexecStoreSeqs;
+            if (!seqs.empty() && *seqs.begin() <= inst.olderStores &&
+                memDep->shouldWait(inst.op.pc, now)) {
+                continue;
+            }
+        }
+        ClusterId c = inst.cluster;
+        if (!winner[c].valid() || inst.fetchStamp < winner_age[c]) {
+            winner[c] = ref;
+            winner_age[c] = inst.fetchStamp;
+        }
+    }
+
+    for (ClusterId c = 0; c < cfg.numClusters; ++c) {
+        if (!winner[c].valid())
+            continue;
+        DynInst &inst = pool.get(winner[c]);
+        inst.state = InstState::Issued;
+        inst.issueCycle = now;
+        if (inst.firstIssueCycle == invalidCycle)
+            inst.firstIssueCycle = now;
+        ++inst.timesIssued;
+        LTRACE(Issue, now, inst.op.toString() << " (issue #"
+               << inst.timesIssued << ")");
+        *issuedOps += 1;
+        if (inst.timesIssued > 1)
+            *reissuedOps += 1;
+        inst.confirmCycle =
+            now + cfg.iqExLatency + cfg.loadFeedback + cfg.iqClearDelay;
+        // 21264-style recovery kills *everything* issued in a load
+        // shadow, so entries must be retained until any load issued up
+        // to a hit-latency earlier has resolved.
+        if (cfg.killAllInShadow)
+            inst.confirmCycle += mem->l1Latency();
+
+        // Speculative wakeup of consumers. Loads assume an L1 hit; in
+        // Stall mode load consumers wait for the resolved outcome
+        // instead (set in handleLoadExec).
+        if (inst.op.hasDest()) {
+            if (inst.op.isLoad()) {
+                if (cfg.loadRecovery != LoadRecovery::Stall) {
+                    prf.setIssueReady(inst.physDest,
+                                      now + mem->l1Latency());
+                }
+            } else {
+                prf.setIssueReady(inst.physDest,
+                                  now + inst.op.execLatency());
+            }
+        }
+
+        schedule(Event{now + cfg.iqExLatency, EventType::ExecStart, 0,
+                       winner[c], now, invalidPhysReg, invalidCycle});
+    }
+}
+
+OperandSource
+Core::classifyOperand(const DynInst &inst, unsigned idx, Cycle exec_start)
+{
+    PhysReg reg = inst.physSrc[idx];
+    Cycle produced_at = prf.actualReadyAt(reg);
+
+    if (!cfg.dra) {
+        // Base machine: operands come from the forwarding buffer or
+        // the in-path RF read; by construction there is no gap.
+        if (fwd.lookup(produced_at, exec_start))
+            return OperandSource::Forward;
+        panic_if(!prf.writtenBack(reg, exec_start),
+                 "base-machine operand neither forwardable nor written "
+                 "back");
+        return OperandSource::RegFile;
+    }
+
+    if (fwd.lookup(produced_at, exec_start)) {
+        draUnit->forwardHit(reg, inst.cluster);
+        return OperandSource::Forward;
+    }
+    if (draUnit->lookupCached(reg, inst.cluster, exec_start))
+        return OperandSource::Crc;
+    return OperandSource::Miss;
+}
+
+void
+Core::handleOperandMiss(DynInst &inst, InstRef ref, Cycle exec_start,
+                        unsigned miss_mask)
+{
+    // Operand resolution loop mis-speculation (§5.4): the missing
+    // operands are read from the RF and delivered to the IQ payload;
+    // the instruction reissues once they arrive, its issued dependents
+    // reissue when the IQ hears of the fault, and the front end stalls
+    // while the recovery borrows the RF read ports.
+    *operandMissEvents += 1;
+    for (unsigned i = 0; i < 2; ++i) {
+        if (miss_mask & (1u << i))
+            operandSources->add(sourceBin(OperandSource::Miss));
+    }
+    if (std::getenv("LOOPSIM_DEBUG_MISS")) {
+        for (unsigned i = 0; i < 2; ++i) {
+            if (!(miss_mask & (1u << i)))
+                continue;
+            std::cerr << "[miss] src r" << inst.op.src[i] << " preg "
+                      << inst.physSrc[i] << " produced "
+                      << prf.actualReadyAt(inst.physSrc[i]) << " exec "
+                      << exec_start << " wb "
+                      << prf.writebackAt(inst.physSrc[i]) << " inst "
+                      << inst.op.toString() << "\n";
+        }
+    }
+
+    LTRACE(Dra, exec_start, inst.op.toString()
+           << " operand miss, mask " << miss_mask);
+    killInstruction(inst);
+    inst.waitingRecovery = true;
+
+    Cycle signal = exec_start + 1 + cfg.loadFeedback;
+    schedule(Event{signal + cfg.regfileLatency,
+                   EventType::PayloadDelivery, 0, ref, invalidCycle,
+                   static_cast<PhysReg>(miss_mask), invalidCycle});
+
+    ++inst.pendingEvents;
+    schedule(Event{signal, EventType::LoadMissKill, 0, ref, invalidCycle,
+                   invalidPhysReg, invalidCycle});
+
+    // §5.4: the front end stalls while the missing operands are read
+    // from the register file and forwarded to the instruction payload.
+    Cycle stall_end = signal + cfg.regfileLatency;
+    renameStallUntil = std::max(renameStallUntil, stall_end);
+}
+
+void
+Core::handleLoadExec(DynInst &inst, InstRef ref, Cycle exec_start)
+{
+    MemAccessResult res =
+        mem->access(inst.op.effAddr, inst.op.tid, false, exec_start);
+    inst.memResult = res;
+    inst.memDone = true;
+    loadLevels->add(levelBin(res.level));
+    loadLatency->sample(static_cast<double>(res.latency));
+
+    PhysReg dest = inst.physDest;
+    unsigned l1_lat = mem->l1Latency();
+
+    LTRACE(Mem, exec_start, inst.op.toString() << " -> "
+           << memLevelName(res.level) << " lat " << res.latency
+           << (res.tlbMiss ? " TLB-MISS" : "")
+           << (res.bankConflict ? " BANK-CONFLICT" : ""));
+    if (res.isPredictableHit()) {
+        // The hit speculation was right: data arrives exactly when the
+        // speculative wakeup promised.
+        Cycle produce = exec_start + res.latency;
+        inst.produceCycle = produce;
+        prf.setActualReady(dest, produce);
+        if (cfg.loadRecovery == LoadRecovery::Stall) {
+            Cycle notify = exec_start + l1_lat + cfg.loadFeedback;
+            prf.setIssueReady(dest, std::max(notify,
+                                             produce - cfg.iqExLatency));
+        }
+        schedule(Event{fwd.writebackCycle(produce), EventType::Writeback,
+                       0, InstRef{}, invalidCycle, dest, produce});
+        inst.state = InstState::Done;
+        return;
+    }
+
+    // Mis-speculation on the load resolution loop: a cache miss, a
+    // bank conflict, or a TLB trap. Data arrives late; the IQ finds
+    // out one loop-feedback later and reverts the issued tree.
+    *loadMissEvents += 1;
+    Cycle produce = exec_start + res.latency +
+                    (res.tlbMiss ? cfg.tlbWalkPenalty : 0);
+    inst.produceCycle = produce;
+    prf.setActualReady(dest, produce);
+
+    // The fill's arrival is announced only missNotice cycles ahead, so
+    // consumers issue late and pay (IQ-EX - notice) beyond the data
+    // latency itself; a shorter IQ-EX path shrinks this loop (§3.2).
+    Cycle advance = std::min<Cycle>(cfg.missNotice, cfg.iqExLatency);
+    Cycle notify = exec_start + l1_lat + cfg.loadFeedback;
+    if (cfg.loadRecovery == LoadRecovery::Stall) {
+        prf.setIssueReady(dest, std::max(notify, produce - advance));
+    } else {
+        // Consumers reissue after the kill; they cannot issue before
+        // the IQ has processed the mis-speculation.
+        prf.setIssueReady(dest, std::max(notify + 1, produce - advance));
+    }
+    schedule(Event{fwd.writebackCycle(produce), EventType::Writeback, 0,
+                   InstRef{}, invalidCycle, dest, produce});
+
+    if (res.tlbMiss) {
+        // Memory trap: recovered from the front of the pipe (§2, the
+        // Alpha memory trap loop; §3.1, turb3d).
+        *tlbTraps += 1;
+        ++inst.pendingEvents;
+        schedule(Event{notify, EventType::TlbTrap, 0, ref,
+                       inst.issueCycle, invalidPhysReg, invalidCycle});
+    } else if (cfg.loadRecovery == LoadRecovery::Reissue) {
+        ++inst.pendingEvents;
+        schedule(Event{notify, EventType::LoadMissKill, 0, ref,
+                       inst.issueCycle, invalidPhysReg, invalidCycle});
+    } else if (cfg.loadRecovery == LoadRecovery::Refetch) {
+        // §2.2.2: the alternative of squashing and refetching from the
+        // first instruction after the load.
+        ++inst.pendingEvents;
+        schedule(Event{notify, EventType::TlbTrap, 0, ref,
+                       inst.issueCycle, invalidPhysReg, invalidCycle});
+    }
+    // Stall mode needs no recovery: nothing issued speculatively.
+
+    inst.state = InstState::Done;
+}
+
+void
+Core::handleBranchExec(DynInst &inst, InstRef ref, Cycle exec_start)
+{
+    Cycle resolve = exec_start + inst.op.execLatency();
+    inst.produceCycle = resolve;
+    inst.state = InstState::Done;
+
+    // Calls write the link register.
+    if (inst.op.hasDest()) {
+        prf.setActualReady(inst.physDest, resolve);
+        schedule(Event{fwd.writebackCycle(resolve), EventType::Writeback,
+                       0, InstRef{}, invalidCycle, inst.physDest,
+                       resolve});
+    }
+
+    if (inst.branchResolved)
+        return; // a reissued branch resolves only once
+    inst.branchResolved = true;
+
+    if (inst.op.wrongPath)
+        return; // wrong-path branches never redirect
+
+    if (inst.op.forceMispredict) {
+        inst.mispredicted = true;
+        *branchMispredicts += 1;
+        ++inst.pendingEvents;
+        schedule(Event{resolve + cfg.branchFeedback,
+                       EventType::BranchRedirect, 0, ref,
+                       inst.issueCycle, invalidPhysReg, invalidCycle});
+    }
+}
+
+void
+Core::executeValid(DynInst &inst, InstRef ref, Cycle exec_start)
+{
+    inst.execValid = true;
+
+    // Figure 6: distribution of the gap between the availability times
+    // of the two source operands (0 for fewer than two sources).
+    if (!inst.gapSampled && !inst.op.wrongPath) {
+        inst.gapSampled = true;
+        if (inst.physSrc[0] != invalidPhysReg &&
+            inst.physSrc[1] != invalidPhysReg) {
+            Cycle a = prf.actualReadyAt(inst.physSrc[0]);
+            Cycle b = prf.actualReadyAt(inst.physSrc[1]);
+            double gap = a > b ? double(a - b) : double(b - a);
+            operandGap->sample(std::min(gap, 255.0));
+        } else {
+            operandGap->sample(0.0);
+        }
+    }
+
+    switch (inst.op.opClass) {
+      case OpClass::Load:
+        handleLoadExec(inst, ref, exec_start);
+        break;
+      case OpClass::Store: {
+        MemAccessResult res = mem->access(inst.op.effAddr, inst.op.tid,
+                                          true, exec_start);
+        inst.memResult = res;
+        inst.memDone = true;
+        inst.produceCycle = exec_start + 1;
+        inst.state = InstState::Done;
+        handleStoreOrdering(inst, ref, exec_start);
+        if (res.tlbMiss) {
+            // Stores trap on dTLB misses too.
+            *tlbTraps += 1;
+            ++inst.pendingEvents;
+            schedule(Event{exec_start + mem->l1Latency() +
+                               cfg.loadFeedback,
+                           EventType::TlbTrap, 0, ref, inst.issueCycle,
+                           invalidPhysReg, invalidCycle});
+        }
+        break;
+      }
+      case OpClass::BranchCond:
+      case OpClass::BranchUncond:
+        handleBranchExec(inst, ref, exec_start);
+        break;
+      default: {
+        Cycle produce = exec_start + inst.op.execLatency();
+        inst.produceCycle = produce;
+        inst.state = InstState::Done;
+        if (inst.op.hasDest()) {
+            prf.setActualReady(inst.physDest, produce);
+            schedule(Event{fwd.writebackCycle(produce),
+                           EventType::Writeback, 0, InstRef{},
+                           invalidCycle, inst.physDest, produce});
+        }
+        break;
+      }
+    }
+}
+
+void
+Core::startExecution(InstRef ref, Cycle exec_start, Cycle issue_stamp)
+{
+    if (!pool.live(ref))
+        return; // squashed while in IQ-EX
+    DynInst &inst = pool.get(ref);
+    if (inst.state != InstState::Issued)
+        return; // killed (and possibly reissued: that has its own event)
+    if (inst.issueCycle != issue_stamp)
+        return; // stale event from an issue that was killed meanwhile
+
+    inst.execStartCycle = exec_start;
+
+    // Resolve each register source. Payload operands (pre-read or
+    // recovered) are already at hand. Others are looked up in the
+    // forwarding buffer / CRC / RF; an operand whose producer has not
+    // actually delivered (a mis-speculated load shadow) is invalid and
+    // the instruction will be reverted by the in-flight kill.
+    bool any_invalid = false;
+    unsigned miss_mask = 0;
+    std::array<OperandSource, 2> srcs{OperandSource::None,
+                                      OperandSource::None};
+
+    for (unsigned i = 0; i < 2; ++i) {
+        if (inst.physSrc[i] == invalidPhysReg)
+            continue;
+        if (inst.operandInPayload[i]) {
+            srcs[i] = inst.payloadFromRecovery[i] ? OperandSource::Payload
+                                                  : OperandSource::PreRead;
+            continue;
+        }
+        if (!prf.actualReady(inst.physSrc[i], exec_start)) {
+            any_invalid = true;
+            continue;
+        }
+        srcs[i] = classifyOperand(inst, i, exec_start);
+        if (srcs[i] == OperandSource::Miss)
+            miss_mask |= 1u << i;
+    }
+
+    if (any_invalid) {
+        // Poisoned input: no side effects; the load (or operand)
+        // resolution loop's kill will revert this instruction.
+        LTRACE(Exec, exec_start, inst.op.toString()
+               << " executes with poisoned operands");
+        inst.execValid = false;
+        return;
+    }
+    LTRACE(Exec, exec_start, inst.op.toString());
+    if (miss_mask != 0) {
+        handleOperandMiss(inst, ref, exec_start, miss_mask);
+        return;
+    }
+
+    // Account operand delivery (Figure 9). Recovered payload operands
+    // were already counted as misses at the faulting execution.
+    for (unsigned i = 0; i < 2; ++i) {
+        if (srcs[i] == OperandSource::None ||
+            srcs[i] == OperandSource::Payload) {
+            continue;
+        }
+        operandSources->add(sourceBin(srcs[i]));
+    }
+
+    executeValid(inst, ref, exec_start);
+}
+
+void
+Core::handleStoreOrdering(DynInst &inst, InstRef ref, Cycle exec_start)
+{
+    ThreadState &t = threads[inst.op.tid];
+    if (!inst.storeExecCounted) {
+        inst.storeExecCounted = true;
+        t.unexecStoreSeqs.erase(inst.storeSeq);
+    }
+    if (!memDep)
+        return;
+
+    // Load/store reorder trap detection (the paper's memory trap
+    // loop): a *younger* load to the same dword that already performed
+    // its access read stale data. The oldest such load restarts from
+    // fetch; the wait table learns its PC.
+    Addr dword = inst.op.effAddr >> 3;
+    InstRef victim{};
+    std::uint64_t victim_stamp = 0;
+    for (std::size_t i = 0; i < t.rob.size(); ++i) {
+        InstRef r = t.rob.at(i);
+        const DynInst &cand = pool.get(r);
+        if (cand.fetchStamp <= inst.fetchStamp)
+            continue;
+        if (!cand.op.isLoad() || !cand.memDone || !cand.execValid)
+            continue;
+        if ((cand.op.effAddr >> 3) != dword)
+            continue;
+        if (!victim.valid() || cand.fetchStamp < victim_stamp) {
+            victim = r;
+            victim_stamp = cand.fetchStamp;
+        }
+    }
+    if (!victim.valid())
+        return;
+
+    DynInst &load = pool.get(victim);
+    *memOrderTrapCount += 1;
+    memDep->trainTrap(load.op.pc);
+    ++load.pendingEvents;
+    schedule(Event{exec_start + mem->l1Latency() + cfg.loadFeedback,
+                   EventType::OrderTrap, 0, victim, invalidCycle,
+                   invalidPhysReg, invalidCycle});
+    (void)ref;
+}
+
+void
+Core::retireStage(Cycle now)
+{
+    unsigned budget = cfg.width;
+    bool progress = true;
+    while (budget > 0 && progress) {
+        progress = false;
+        for (std::size_t i = 0; i < threads.size() && budget > 0; ++i) {
+            ThreadId tid = static_cast<ThreadId>(
+                (now + i) % threads.size());
+            ThreadState &t = threads[tid];
+            if (t.rob.empty())
+                continue;
+            InstRef ref = t.rob.head();
+            DynInst &inst = pool.get(ref);
+            if (inst.state != InstState::Done || !inst.execValid)
+                continue;
+            if (inst.confirmCycle == invalidCycle ||
+                now < inst.confirmCycle) {
+                continue;
+            }
+            if (inst.produceCycle == invalidCycle ||
+                now < inst.produceCycle) {
+                continue;
+            }
+            if (inst.pendingEvents != 0)
+                continue;
+            if (inst.mispredicted && !inst.redirectDone)
+                continue;
+            panic_if(inst.op.wrongPath,
+                     "retiring a wrong-path instruction");
+
+            if (inst.iqSlot != 0xffff) {
+                iq.remove(pool, ref);
+                panic_if(t.iqCount == 0, "iq count underflow");
+                --t.iqCount;
+            }
+            if (inst.op.hasDest() &&
+                inst.prevPhysDest != invalidPhysReg) {
+                prf.free(inst.prevPhysDest);
+                if (draUnit)
+                    draUnit->regFreed(inst.prevPhysDest);
+            }
+            if (inst.op.isBranch()) {
+                *branchesRetired += 1;
+            }
+            panic_if(inst.op.hasDest() &&
+                         prf.actualReadyAt(inst.physDest) == invalidCycle,
+                     "retiring producer of an unproduced register: ",
+                     inst.op.toString());
+            LTRACE(Retire, now, inst.op.toString());
+            if (timelineRec)
+                timelineRec->record(inst, now);
+            t.rob.popHead();
+            pool.release(ref);
+            ++t.retired;
+            *retiredTotal += 1;
+            --budget;
+            progress = true;
+        }
+    }
+}
+
+} // namespace loopsim

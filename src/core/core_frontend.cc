@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Core front end: fetch (SMT arbitration, branch prediction, wrong
+ * path, replay), rename/slotting, and the DEC-IQ pipe into the IQ.
+ */
+
+#include <algorithm>
+
+#include "base/debug.hh"
+#include "base/logging.hh"
+#include "core/core.hh"
+
+namespace loopsim
+{
+
+ThreadId
+Core::pickFetchThread(Cycle now)
+{
+    constexpr ThreadId none = 0xff;
+    ThreadId best = none;
+    std::size_t best_count = 0;
+    std::size_t fetch_cap =
+        static_cast<std::size_t>(cfg.width) * (cfg.frontLatency + 2);
+
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        // Round-robin start offset keeps ties fair.
+        ThreadId tid = static_cast<ThreadId>(
+            (i + rrFetchCursor) % threads.size());
+        ThreadState &t = threads[tid];
+        if (now < t.fetchResumeAt)
+            continue;
+        if (t.fetchBuffer.size() >= fetch_cap)
+            continue;
+        bool has_work = !t.replayQueue.empty() || !t.exhausted ||
+                        (t.onWrongPath && cfg.wrongPathFetch);
+        if (!has_work)
+            continue;
+        if (t.onWrongPath && !cfg.wrongPathFetch)
+            continue; // stalled until the branch resolves
+
+        // ICOUNT: prefer the thread with the least work in flight,
+        // counting the whole window so a stalled thread cannot hog it.
+        std::size_t count = t.fetchBuffer.size() + t.pipeCount +
+                            t.iqCount + t.rob.size();
+        if (cfg.fetchPolicy == FetchPolicy::RoundRobin) {
+            best = tid;
+            break;
+        }
+        if (best == none || count < best_count) {
+            best = tid;
+            best_count = count;
+        }
+    }
+    ++rrFetchCursor;
+    return best;
+}
+
+void
+Core::resolvePrediction(MicroOp &op, ThreadId tid)
+{
+    if (cfg.branchMode == BranchMode::Profile) {
+        // The workload's calibrated tag stands as-is.
+        return;
+    }
+    bool mispredict = false;
+    if (op.isCondBranch()) {
+        bool pred = predictor->predict(op.pc, tid);
+        mispredict = pred != op.taken;
+        if (op.taken && !mispredict) {
+            auto target = btb->lookup(op.pc, tid);
+            if (!target || *target != op.target)
+                mispredict = true;
+        }
+        // Train at fetch with the resolved outcome: the standard
+        // trace-driven approximation of speculative-history update
+        // with perfect repair (history would otherwise lag fetch by a
+        // whole pipeline of in-flight branches).
+        predictor->update(op.pc, tid, op.taken);
+    } else {
+        // Unconditional: direction is known; the target must come from
+        // the BTB (a miss means a fetch redirect at resolution).
+        auto target = btb->lookup(op.pc, tid);
+        mispredict = !target || *target != op.target;
+    }
+    if (op.taken)
+        btb->update(op.pc, tid, op.target);
+    op.forceMispredict = mispredict;
+}
+
+bool
+Core::fetchOne(ThreadState &t, ThreadId tid, Cycle now)
+{
+    std::size_t fetch_cap =
+        static_cast<std::size_t>(cfg.width) * (cfg.frontLatency + 2);
+    if (t.fetchBuffer.size() >= fetch_cap)
+        return false;
+
+    MicroOp op;
+    if (t.onWrongPath) {
+        if (!cfg.wrongPathFetch)
+            return false;
+        t.src->nextWrongPath(op, t.wrongPathResume);
+        op.tid = tid;
+        *wrongPathOps += 1;
+    } else if (!t.replayQueue.empty()) {
+        op = t.replayQueue.front();
+        t.replayQueue.pop_front();
+        *fetchedOps += 1;
+    } else if (!t.exhausted && t.src->next(op)) {
+        *fetchedOps += 1;
+    } else {
+        t.exhausted = true;
+        return false;
+    }
+
+    bool end_group = false;
+    if (!op.wrongPath && op.isBranch()) {
+        resolvePrediction(op, tid);
+        if (op.forceMispredict) {
+            t.onWrongPath = true;
+            t.wrongPathResume = op.seq + 1;
+        }
+        // The fetch group ends at a predicted-taken branch.
+        bool predicted_taken =
+            op.isCondBranch() ? (op.taken != op.forceMispredict) : true;
+        end_group = predicted_taken || op.forceMispredict;
+    }
+
+    LTRACE(Fetch, now, op.toString()
+           << (t.onWrongPath && !op.wrongPath ? " (enters wrong path)"
+                                              : ""));
+    t.fetchBuffer.push_back(
+        FetchedOp{op, now + cfg.frontLatency + 2});
+    ++t.fetched;
+    return !end_group;
+}
+
+void
+Core::fetchStage(Cycle now)
+{
+    ThreadId tid = pickFetchThread(now);
+    if (tid == 0xff)
+        return;
+    ThreadState &t = threads[tid];
+    for (unsigned i = 0; i < cfg.width; ++i) {
+        if (!fetchOne(t, tid, now))
+            break;
+        // Optional I-cache model: a miss on the just-fetched line
+        // stalls this thread's fetch for the refill.
+        if (mem->icacheEnabled() && !t.fetchBuffer.empty()) {
+            auto res = mem->fetchAccess(t.fetchBuffer.back().op.pc, tid);
+            if (res.latency > 0) {
+                t.fetchResumeAt =
+                    std::max(t.fetchResumeAt, now + res.latency);
+                break;
+            }
+        }
+    }
+}
+
+bool
+Core::renameOne(ThreadState &t, ThreadId tid, FetchedOp &fop, Cycle now)
+{
+    const MicroOp &op = fop.op;
+
+    // Memory barrier: the mapping logic stalls the barrier and all
+    // succeeding instructions until every preceding instruction has
+    // completed (paper §1's infrequent, stall-managed loose loop).
+    if (op.isBarrier() && !t.rob.empty())
+        return false;
+
+    if (pool.full())
+        return false;
+    if (op.hasDest() && !prf.hasFree())
+        return false;
+    // SMT fairness: the in-flight window and IQ are partitioned
+    // evenly, so one stalled thread cannot monopolise them and
+    // head-of-line-block the other thread's dispatch for the duration
+    // of its misses.
+    if (threads.size() > 1) {
+        if (t.rob.size() >=
+            cfg.robEntries / static_cast<unsigned>(threads.size())) {
+            return false;
+        }
+        if (t.iqCount + t.pipeCount >=
+            cfg.iqEntries / static_cast<unsigned>(threads.size())) {
+            return false;
+        }
+    }
+
+    InstRef ref = pool.alloc();
+    DynInst &inst = pool.get(ref);
+    inst.op = op;
+    inst.op.tid = tid;
+    inst.fetchStamp = ++fetchStampCounter;
+    inst.fetchCycle = fop.renameReadyAt - cfg.frontLatency - 2;
+    inst.renameCycle = now;
+    inst.cluster =
+        static_cast<ClusterId>(clusterCursor++ % cfg.numClusters);
+
+    // Sources are looked up before the destination is renamed, so an
+    // op reading and writing the same architectural register sees the
+    // old value.
+    for (unsigned i = 0; i < 2; ++i) {
+        if (op.src[i] == invalidArchReg)
+            continue;
+        PhysReg reg = t.map->lookup(op.src[i]);
+        inst.physSrc[i] = reg;
+        InstRef prod = prf.producer(reg);
+        if (pool.live(prod)) {
+            inst.srcProducer[i] = prod;
+            pool.get(prod).consumers.push_back(ref);
+        }
+        if (draUnit && draUnit->renameSource(reg, inst.cluster)) {
+            // Completed operand: pre-read from the RF into the payload
+            // during the remaining DEC-IQ cycles.
+            inst.operandInPayload[i] = true;
+        }
+    }
+
+    if (op.hasDest()) {
+        PhysReg dest = prf.alloc(ref);
+        inst.physDest = dest;
+        inst.prevPhysDest = t.map->rename(op.dest, dest);
+        if (draUnit)
+            draUnit->renameDest(dest);
+    }
+
+    // Memory-ordering bookkeeping: stores get a per-thread sequence
+    // number; loads remember how many stores precede them.
+    if (op.isStore()) {
+        inst.storeSeq = ++t.storeRenameCount;
+        t.unexecStoreSeqs.insert(inst.storeSeq);
+    } else if (op.isLoad()) {
+        inst.olderStores = t.storeRenameCount;
+    }
+
+    LTRACE(Rename, now, inst.op.toString() << " cluster "
+           << int(inst.cluster) << " pdest " << inst.physDest);
+    t.rob.push(ref);
+    renamePipe.push_back(
+        PendingInsert{ref, now + (cfg.decIqLatency - 2), tid});
+    ++t.pipeCount;
+    *renamedOps += 1;
+    return true;
+}
+
+void
+Core::renameStage(Cycle now)
+{
+    // An operand-miss recovery borrows the RF read ports, stalling the
+    // front end (§5.4).
+    if (now < renameStallUntil) {
+        *recoveryStallCycles += 1;
+        return;
+    }
+
+    // Skid-buffered DEC-IQ pipe: rename stalls when the pipe backs up
+    // (IQ-full back-pressure), modelling the queuing delay the paper
+    // notes augments loop latencies.
+    std::size_t pipe_cap = static_cast<std::size_t>(cfg.width) *
+                           (cfg.decIqLatency - 2 + 1);
+
+    unsigned renamed = 0;
+    // Round-robin across threads at rename for SMT fairness.
+    std::size_t n_threads = threads.size();
+    std::size_t start = static_cast<std::size_t>(now) % n_threads;
+    bool progress = true;
+    while (renamed < cfg.width && progress) {
+        progress = false;
+        for (std::size_t i = 0; i < n_threads && renamed < cfg.width;
+             ++i) {
+            ThreadId tid =
+                static_cast<ThreadId>((start + i) % n_threads);
+            ThreadState &t = threads[tid];
+            if (t.fetchBuffer.empty())
+                continue;
+            FetchedOp &fop = t.fetchBuffer.front();
+            if (fop.renameReadyAt > now)
+                continue;
+            if (renamePipe.size() >= pipe_cap)
+                return;
+            if (!renameOne(t, tid, fop, now))
+                continue; // this thread stalls; others may proceed
+            t.fetchBuffer.pop_front();
+            ++renamed;
+            progress = true;
+        }
+    }
+}
+
+void
+Core::insertStage(Cycle now)
+{
+    unsigned inserted = 0;
+    while (!renamePipe.empty() && inserted < cfg.width) {
+        PendingInsert &head = renamePipe.front();
+        if (head.insertAt > now)
+            break;
+        if (iq.full())
+            break; // §2.2.2: capacity pressure stalls insertion
+        DynInst &inst = pool.get(head.ref);
+        panic_if(inst.state != InstState::Renamed,
+                 "non-renamed instruction in the DEC-IQ pipe");
+        iq.insert(pool, head.ref);
+        inst.state = InstState::InIq;
+        inst.insertCycle = now;
+        ThreadState &t = threads[head.tid];
+        panic_if(t.pipeCount == 0, "pipe count underflow");
+        --t.pipeCount;
+        ++t.iqCount;
+        renamePipe.pop_front();
+        ++inserted;
+    }
+}
+
+} // namespace loopsim

@@ -1,0 +1,51 @@
+#include "core/instruction_queue.hh"
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+InstructionQueue::InstructionQueue(unsigned num_entries)
+    : capacity(num_entries)
+{
+    fatal_if(num_entries == 0, "IQ must have entries");
+    slots.reserve(num_entries);
+}
+
+void
+InstructionQueue::insert(InstPool &pool, InstRef ref)
+{
+    panic_if(full(), "inserting into a full IQ");
+    DynInst &inst = pool.get(ref);
+    panic_if(inst.iqSlot != 0xffff, "instruction already holds an IQ slot");
+    inst.iqSlot = static_cast<std::uint16_t>(slots.size());
+    slots.push_back(ref);
+}
+
+void
+InstructionQueue::remove(InstPool &pool, InstRef ref)
+{
+    DynInst &inst = pool.get(ref);
+    std::uint16_t slot = inst.iqSlot;
+    panic_if(slot == 0xffff || slot >= slots.size() ||
+                 !(slots[slot] == ref),
+             "removing an instruction that holds no IQ slot");
+    inst.iqSlot = 0xffff;
+    // Swap-remove; repair the moved occupant's back-index.
+    InstRef moved = slots.back();
+    slots[slot] = moved;
+    slots.pop_back();
+    if (!(moved == ref))
+        pool.get(moved).iqSlot = slot;
+}
+
+bool
+InstructionQueue::contains(const InstPool &pool, InstRef ref) const
+{
+    if (!pool.live(ref))
+        return false;
+    std::uint16_t slot = pool.get(ref).iqSlot;
+    return slot != 0xffff && slot < slots.size() && slots[slot] == ref;
+}
+
+} // namespace loopsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The unified instruction queue (128 entries in the base machine).
+ *
+ * The IQ is a capacity-tracked container of in-flight references; the
+ * scheduling *policy* (wakeup/select, speculative issue, reissue) lives
+ * in the Core, which owns the scoreboard. What the IQ enforces here is
+ * the paper's capacity pressure: entries are held from insertion until
+ * the Core confirms the instruction cannot reissue (§2.2.2, "IQ
+ * Pressure"), so issued-but-unconfirmed instructions shrink the
+ * effective window.
+ */
+
+#ifndef LOOPSIM_CORE_INSTRUCTION_QUEUE_HH
+#define LOOPSIM_CORE_INSTRUCTION_QUEUE_HH
+
+#include <vector>
+
+#include "core/dyn_inst.hh"
+
+namespace loopsim
+{
+
+class InstructionQueue
+{
+  public:
+    explicit InstructionQueue(unsigned num_entries);
+
+    bool full() const { return slots.size() >= capacity; }
+    std::size_t size() const { return slots.size(); }
+    std::size_t freeSlots() const { return capacity - slots.size(); }
+    unsigned entries() const { return capacity; }
+
+    /** Claim a slot for @p ref; panics when full. */
+    void insert(InstPool &pool, InstRef ref);
+
+    /** Release @p ref's slot (confirm-free or squash). */
+    void remove(InstPool &pool, InstRef ref);
+
+    /** True iff @p ref currently holds a slot. */
+    bool contains(const InstPool &pool, InstRef ref) const;
+
+    /** Dense snapshot of current occupants (order is not age). */
+    const std::vector<InstRef> &occupants() const { return slots; }
+
+    void clear() { slots.clear(); }
+
+  private:
+    unsigned capacity;
+    std::vector<InstRef> slots;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_CORE_INSTRUCTION_QUEUE_HH

@@ -1,0 +1,206 @@
+#include "core/register_file.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+namespace
+{
+
+/**
+ * Debug aid: set LOOPSIM_TRACE_REG=<n> to log every state transition
+ * of physical register n to stderr.
+ */
+int
+tracedReg()
+{
+    static int reg = [] {
+        const char *env = std::getenv("LOOPSIM_TRACE_REG");
+        return env ? std::atoi(env) : -1;
+    }();
+    return reg;
+}
+
+void
+traceReg(PhysReg reg, const char *what, std::uint64_t value)
+{
+    if (static_cast<int>(reg) == tracedReg())
+        std::cerr << "[preg " << reg << "] " << what << " " << value
+                  << "\n";
+}
+
+} // anonymous namespace
+
+const char *
+operandSourceName(OperandSource src)
+{
+    switch (src) {
+      case OperandSource::None: return "none";
+      case OperandSource::PreRead: return "preread";
+      case OperandSource::Forward: return "forward";
+      case OperandSource::Crc: return "crc";
+      case OperandSource::RegFile: return "regfile";
+      case OperandSource::Payload: return "payload";
+      case OperandSource::Miss: return "miss";
+      default: panic("unknown operand source");
+    }
+}
+
+PhysRegFile::PhysRegFile(unsigned num_regs)
+    : numRegs(num_regs), regs(num_regs)
+{
+    fatal_if(num_regs == 0 || num_regs >= invalidPhysReg,
+             "physical register count out of range");
+    freeList.reserve(num_regs);
+    for (unsigned i = num_regs; i-- > 0;)
+        freeList.push_back(static_cast<PhysReg>(i));
+}
+
+PhysRegFile::RegState &
+PhysRegFile::state(PhysReg reg)
+{
+    panic_if(reg >= numRegs, "physical register out of range");
+    return regs[reg];
+}
+
+const PhysRegFile::RegState &
+PhysRegFile::state(PhysReg reg) const
+{
+    panic_if(reg >= numRegs, "physical register out of range");
+    return regs[reg];
+}
+
+PhysReg
+PhysRegFile::alloc(InstRef producer)
+{
+    panic_if(freeList.empty(), "allocating from an empty free list");
+    PhysReg reg = freeList.back();
+    freeList.pop_back();
+    RegState &s = state(reg);
+    panic_if(s.live, "allocating a live register");
+    s = RegState{};
+    s.live = true;
+    s.producerRef = producer;
+    traceReg(reg, "alloc producerIdx", producer.idx);
+    return reg;
+}
+
+PhysReg
+PhysRegFile::allocArch()
+{
+    PhysReg reg = alloc(InstRef{});
+    RegState &s = state(reg);
+    // Architectural state exists "since forever".
+    s.issueReadyCycle = 0;
+    s.actualReadyCycle = 0;
+    s.writebackCycle = 0;
+    return reg;
+}
+
+void
+PhysRegFile::free(PhysReg reg)
+{
+    RegState &s = state(reg);
+    panic_if(!s.live, "freeing a register that is not live");
+    traceReg(reg, "free", 0);
+    s.live = false;
+    freeList.push_back(reg);
+}
+
+void
+PhysRegFile::setIssueReady(PhysReg reg, Cycle cycle)
+{
+    traceReg(reg, "setIssueReady", cycle);
+    state(reg).issueReadyCycle = cycle;
+}
+
+void
+PhysRegFile::clearIssueReady(PhysReg reg)
+{
+    traceReg(reg, "clearIssueReady", 0);
+    state(reg).issueReadyCycle = invalidCycle;
+}
+
+Cycle
+PhysRegFile::issueReadyAt(PhysReg reg) const
+{
+    return state(reg).issueReadyCycle;
+}
+
+bool
+PhysRegFile::issueReady(PhysReg reg, Cycle now) const
+{
+    return state(reg).issueReadyCycle <= now;
+}
+
+void
+PhysRegFile::setActualReady(PhysReg reg, Cycle cycle)
+{
+    traceReg(reg, "setActualReady", cycle);
+    state(reg).actualReadyCycle = cycle;
+}
+
+void
+PhysRegFile::clearActualReady(PhysReg reg)
+{
+    traceReg(reg, "clearActualReady", 0);
+    state(reg).actualReadyCycle = invalidCycle;
+}
+
+Cycle
+PhysRegFile::actualReadyAt(PhysReg reg) const
+{
+    return state(reg).actualReadyCycle;
+}
+
+bool
+PhysRegFile::actualReady(PhysReg reg, Cycle now) const
+{
+    return state(reg).actualReadyCycle <= now;
+}
+
+void
+PhysRegFile::setWriteback(PhysReg reg, Cycle cycle)
+{
+    state(reg).writebackCycle = cycle;
+}
+
+Cycle
+PhysRegFile::writebackAt(PhysReg reg) const
+{
+    return state(reg).writebackCycle;
+}
+
+bool
+PhysRegFile::writtenBack(PhysReg reg, Cycle now) const
+{
+    return state(reg).writebackCycle <= now;
+}
+
+InstRef
+PhysRegFile::producer(PhysReg reg) const
+{
+    return state(reg).producerRef;
+}
+
+bool
+PhysRegFile::live(PhysReg reg) const
+{
+    return state(reg).live;
+}
+
+void
+PhysRegFile::reset()
+{
+    for (auto &s : regs)
+        s = RegState{};
+    freeList.clear();
+    for (unsigned i = numRegs; i-- > 0;)
+        freeList.push_back(static_cast<PhysReg>(i));
+}
+
+} // namespace loopsim

@@ -1,0 +1,40 @@
+#include "core/rename.hh"
+
+#include "base/logging.hh"
+#include "core/register_file.hh"
+
+namespace loopsim
+{
+
+RenameMap::RenameMap(unsigned num_arch_regs, PhysRegFile &prf)
+    : map(num_arch_regs, invalidPhysReg)
+{
+    fatal_if(num_arch_regs == 0, "rename map needs architectural regs");
+    for (auto &m : map)
+        m = prf.allocArch();
+}
+
+PhysReg
+RenameMap::lookup(ArchReg reg) const
+{
+    panic_if(reg >= map.size(), "architectural register out of range");
+    return map[reg];
+}
+
+PhysReg
+RenameMap::rename(ArchReg reg, PhysReg new_reg)
+{
+    panic_if(reg >= map.size(), "architectural register out of range");
+    PhysReg old = map[reg];
+    map[reg] = new_reg;
+    return old;
+}
+
+void
+RenameMap::restore(ArchReg reg, PhysReg old_reg)
+{
+    panic_if(reg >= map.size(), "architectural register out of range");
+    map[reg] = old_reg;
+}
+
+} // namespace loopsim

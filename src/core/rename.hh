@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-thread register rename map (architectural to physical), with the
+ * inverse operations needed for ROB-walk squash recovery.
+ */
+
+#ifndef LOOPSIM_CORE_RENAME_HH
+#define LOOPSIM_CORE_RENAME_HH
+
+#include <vector>
+
+#include "base/types.hh"
+
+namespace loopsim
+{
+
+class PhysRegFile;
+
+class RenameMap
+{
+  public:
+    /**
+     * @param num_arch_regs architectural registers in this thread
+     * @param prf           backing physical register file; the map
+     *                      allocates one live register per arch reg at
+     *                      construction (the architectural state).
+     */
+    RenameMap(unsigned num_arch_regs, PhysRegFile &prf);
+
+    /** Current mapping of @p reg. */
+    PhysReg lookup(ArchReg reg) const;
+
+    /**
+     * Redirect @p reg to @p new_reg.
+     * @return the previous mapping (freed when the renaming
+     *         instruction retires).
+     */
+    PhysReg rename(ArchReg reg, PhysReg new_reg);
+
+    /** Squash recovery: restore @p reg to @p old_reg. */
+    void restore(ArchReg reg, PhysReg old_reg);
+
+    unsigned size() const { return static_cast<unsigned>(map.size()); }
+
+  private:
+    std::vector<PhysReg> map;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_CORE_RENAME_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-thread reorder buffer over the shared in-flight window. Retire is
+ * in order per thread; squash walks from the tail.
+ */
+
+#ifndef LOOPSIM_CORE_ROB_HH
+#define LOOPSIM_CORE_ROB_HH
+
+#include <deque>
+
+#include "core/dyn_inst.hh"
+
+namespace loopsim
+{
+
+class ReorderBuffer
+{
+  public:
+    ReorderBuffer() = default;
+
+    void push(InstRef ref) { entries.push_back(ref); }
+
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+
+    /** Oldest entry (retire candidate). */
+    InstRef
+    head() const
+    {
+        panic_if(entries.empty(), "head of empty ROB");
+        return entries.front();
+    }
+    void
+    popHead()
+    {
+        panic_if(entries.empty(), "pop of empty ROB");
+        entries.pop_front();
+    }
+
+    /** Youngest entry (squash walks start here). */
+    InstRef
+    tail() const
+    {
+        panic_if(entries.empty(), "tail of empty ROB");
+        return entries.back();
+    }
+    void
+    popTail()
+    {
+        panic_if(entries.empty(), "popTail of empty ROB");
+        entries.pop_back();
+    }
+
+    /** Indexed access, 0 == oldest (for occupancy statistics). */
+    InstRef
+    at(std::size_t i) const
+    {
+        panic_if(i >= entries.size(), "ROB index out of range");
+        return entries[i];
+    }
+
+    void clear() { entries.clear(); }
+
+  private:
+    std::deque<InstRef> entries;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_CORE_ROB_HH

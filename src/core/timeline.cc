@@ -1,0 +1,115 @@
+#include "core/timeline.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "base/logging.hh"
+#include "core/dyn_inst.hh"
+
+namespace loopsim
+{
+
+TimelineRecorder::TimelineRecorder(std::size_t capacity) : cap(capacity)
+{
+    fatal_if(capacity == 0, "timeline recorder needs capacity");
+}
+
+void
+TimelineRecorder::record(const DynInst &inst, Cycle retire_cycle)
+{
+    TimelineEntry e;
+    e.seq = inst.op.seq;
+    e.tid = inst.op.tid;
+    e.opClass = inst.op.opClass;
+    e.pc = inst.op.pc;
+    e.fetch = inst.fetchCycle;
+    e.rename = inst.renameCycle;
+    e.insert = inst.insertCycle;
+    e.firstIssue = inst.firstIssueCycle;
+    e.lastIssue = inst.issueCycle;
+    e.execStart = inst.execStartCycle;
+    e.produce = inst.produceCycle;
+    e.retire = retire_cycle;
+    e.timesIssued = inst.timesIssued;
+
+    ring.push_back(e);
+    if (ring.size() > cap)
+        ring.pop_front();
+}
+
+void
+TimelineRecorder::printTable(std::ostream &os, std::size_t max_rows) const
+{
+    os << std::left << std::setw(8) << "seq" << std::setw(13) << "op"
+       << std::right << std::setw(8) << "fetch" << std::setw(8) << "ren"
+       << std::setw(8) << "iq" << std::setw(8) << "iss" << std::setw(8)
+       << "exec" << std::setw(8) << "prod" << std::setw(8) << "ret"
+       << std::setw(5) << "n" << "\n";
+    std::size_t start =
+        ring.size() > max_rows ? ring.size() - max_rows : 0;
+    for (std::size_t i = start; i < ring.size(); ++i) {
+        const TimelineEntry &e = ring[i];
+        os << std::left << std::setw(8) << e.seq << std::setw(13)
+           << opClassName(e.opClass) << std::right << std::setw(8)
+           << e.fetch << std::setw(8) << e.rename << std::setw(8)
+           << e.insert << std::setw(8) << e.lastIssue << std::setw(8)
+           << e.execStart << std::setw(8) << e.produce << std::setw(8)
+           << e.retire << std::setw(5) << e.timesIssued << "\n";
+    }
+}
+
+void
+TimelineRecorder::print(std::ostream &os, std::size_t max_rows) const
+{
+    if (ring.empty()) {
+        os << "(timeline empty)\n";
+        return;
+    }
+    std::size_t start =
+        ring.size() > max_rows ? ring.size() - max_rows : 0;
+
+    Cycle lo = invalidCycle;
+    Cycle hi = 0;
+    for (std::size_t i = start; i < ring.size(); ++i) {
+        lo = std::min(lo, ring[i].fetch);
+        hi = std::max(hi, ring[i].retire);
+    }
+    // Compress to at most ~100 columns.
+    Cycle span = hi - lo + 1;
+    Cycle scale = (span + 99) / 100;
+    auto col = [&](Cycle c) -> std::size_t {
+        return static_cast<std::size_t>((c - lo) / scale);
+    };
+    std::size_t width = col(hi) + 1;
+
+    os << "cycles " << lo << ".." << hi;
+    if (scale > 1)
+        os << " (1 column = " << scale << " cycles)";
+    os << "\n";
+
+    for (std::size_t i = start; i < ring.size(); ++i) {
+        const TimelineEntry &e = ring[i];
+        std::string row(width, '.');
+        auto mark = [&](Cycle c, char m) {
+            if (c == invalidCycle || c < lo || c > hi)
+                return;
+            std::size_t p = col(c);
+            // Later stages win collisions except plain filler.
+            row[p] = m;
+        };
+        mark(e.fetch, 'f');
+        mark(e.rename, 'r');
+        mark(e.insert, 'q');
+        mark(e.firstIssue, 'i');
+        if (e.timesIssued > 1)
+            mark(e.lastIssue, 'I');
+        mark(e.execStart, 'e');
+        mark(e.produce, 'p');
+        mark(e.retire, 'c');
+
+        os << std::left << std::setw(7) << e.seq << std::setw(12)
+           << opClassName(e.opClass) << row << "\n";
+    }
+}
+
+} // namespace loopsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-instruction pipeline timeline recording — a lightweight analogue
+ * of gem5's O3 pipeline viewer. When enabled (core.timeline=N), the
+ * core records the stage timestamps of the last N retired instructions;
+ * print() renders them as a text Gantt chart, which makes the paper's
+ * loops visible: reissued instructions show two issue marks, squashed
+ * ones never appear, and the decode-to-execute distance is literally
+ * the width of the row.
+ */
+
+#ifndef LOOPSIM_CORE_TIMELINE_HH
+#define LOOPSIM_CORE_TIMELINE_HH
+
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "base/types.hh"
+#include "workload/micro_op.hh"
+
+namespace loopsim
+{
+
+struct DynInst;
+
+/** Stage timestamps of one retired instruction. */
+struct TimelineEntry
+{
+    SeqNum seq = invalidSeqNum;
+    ThreadId tid = 0;
+    OpClass opClass = OpClass::Nop;
+    Addr pc = 0;
+    Cycle fetch = invalidCycle;
+    Cycle rename = invalidCycle;
+    Cycle insert = invalidCycle;     ///< IQ insertion
+    Cycle firstIssue = invalidCycle;
+    Cycle lastIssue = invalidCycle;  ///< differs when reissued
+    Cycle execStart = invalidCycle;
+    Cycle produce = invalidCycle;
+    Cycle retire = invalidCycle;
+    unsigned timesIssued = 0;
+};
+
+class TimelineRecorder
+{
+  public:
+    /** @param capacity how many retired instructions to retain. */
+    explicit TimelineRecorder(std::size_t capacity);
+
+    /** Record @p inst, retiring at cycle @p retire_cycle. */
+    void record(const DynInst &inst, Cycle retire_cycle);
+
+    const std::deque<TimelineEntry> &entries() const { return ring; }
+    std::size_t capacity() const { return cap; }
+
+    /**
+     * Render the retained instructions as a text Gantt chart:
+     * f=fetch r=rename q=IQ-insert i=issue (I=reissue) e=execute
+     * p=produce c=complete/retire, one row per instruction, columns
+     * are cycles relative to the oldest retained fetch.
+     */
+    void print(std::ostream &os, std::size_t max_rows = 64) const;
+
+    /** One-line-per-instruction numeric dump. */
+    void printTable(std::ostream &os, std::size_t max_rows = 64) const;
+
+  private:
+    std::size_t cap;
+    std::deque<TimelineEntry> ring;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_CORE_TIMELINE_HH

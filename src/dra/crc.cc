@@ -1,0 +1,120 @@
+#include "dra/crc.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace loopsim
+{
+
+CrcRepl
+parseCrcRepl(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "fifo")
+        return CrcRepl::Fifo;
+    if (n == "lru")
+        return CrcRepl::Lru;
+    fatal("unknown CRC replacement policy: ", name);
+}
+
+ClusterRegisterCache::ClusterRegisterCache(unsigned num_entries,
+                                           CrcRepl repl, Cycle timeout)
+    : entriesMax(num_entries), repl(repl), timeout(timeout),
+      store(num_entries)
+{
+    fatal_if(num_entries == 0, "CRC needs entries");
+}
+
+ClusterRegisterCache::Entry *
+ClusterRegisterCache::find(PhysReg reg)
+{
+    for (auto &e : store) {
+        if (e.valid && e.reg == reg)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+ClusterRegisterCache::lookup(PhysReg reg, Cycle now)
+{
+    Entry *e = find(reg);
+    if (e && timeout > 0 && now > e->insertedAt + timeout) {
+        // §5.5 alternative: age out stale entries instead of relying
+        // solely on reallocation invalidates.
+        e->valid = false;
+        ++timeoutCount;
+        e = nullptr;
+    }
+    if (e) {
+        ++hitCount;
+        if (repl == CrcRepl::Lru)
+            e->stamp = ++stamp;
+        return true;
+    }
+    ++missCount;
+    return false;
+}
+
+void
+ClusterRegisterCache::insert(PhysReg reg, Cycle now)
+{
+    ++insertCount;
+    Entry *e = find(reg);
+    if (e) {
+        // Refreshing an existing entry (a re-writeback after reissue).
+        e->stamp = ++stamp;
+        e->insertedAt = now;
+        return;
+    }
+    Entry *victim = nullptr;
+    for (auto &cand : store) {
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        if (!victim || cand.stamp < victim->stamp)
+            victim = &cand;
+    }
+    if (victim->valid)
+        ++evictCount;
+    victim->valid = true;
+    victim->reg = reg;
+    victim->stamp = ++stamp;
+    victim->insertedAt = now;
+}
+
+void
+ClusterRegisterCache::invalidate(PhysReg reg)
+{
+    Entry *e = find(reg);
+    if (e) {
+        e->valid = false;
+        ++invalidateCount;
+    }
+}
+
+std::size_t
+ClusterRegisterCache::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &e : store)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+void
+ClusterRegisterCache::reset()
+{
+    for (auto &e : store)
+        e = Entry{};
+    stamp = 0;
+    hitCount = 0;
+    missCount = 0;
+    insertCount = 0;
+    evictCount = 0;
+    invalidateCount = 0;
+    timeoutCount = 0;
+}
+
+} // namespace loopsim

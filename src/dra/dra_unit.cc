@@ -1,0 +1,135 @@
+#include "dra/dra_unit.hh"
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+DraUnit::DraUnit(unsigned num_phys_regs, unsigned num_clusters,
+                 unsigned crc_entries, CrcRepl crc_repl,
+                 unsigned table_bits, Cycle crc_timeout)
+    : filter(num_phys_regs)
+{
+    fatal_if(num_clusters == 0, "DRA needs clusters");
+    tables.reserve(num_clusters);
+    caches.reserve(num_clusters);
+    for (unsigned c = 0; c < num_clusters; ++c) {
+        tables.emplace_back(num_phys_regs, table_bits);
+        caches.emplace_back(crc_entries, crc_repl, crc_timeout);
+    }
+}
+
+bool
+DraUnit::renameSource(PhysReg reg, ClusterId cluster)
+{
+    panic_if(cluster >= tables.size(), "cluster out of range");
+    if (filter.test(reg)) {
+        ++preReadCount;
+        return true;
+    }
+    tables[cluster].increment(reg);
+    return false;
+}
+
+void
+DraUnit::renameDest(PhysReg reg)
+{
+    // The renamer broadcasts reallocated register numbers to the RPFT
+    // and all CRCs (stale-value invalidation, §5.5) and the insertion
+    // tables forget any stale consumer counts.
+    filter.clear(reg);
+    for (auto &t : tables)
+        t.clear(reg);
+    for (auto &c : caches)
+        c.invalidate(reg);
+}
+
+void
+DraUnit::forwardHit(PhysReg reg, ClusterId cluster)
+{
+    panic_if(cluster >= tables.size(), "cluster out of range");
+    tables[cluster].decrement(reg);
+}
+
+bool
+DraUnit::lookupCached(PhysReg reg, ClusterId cluster, Cycle now)
+{
+    panic_if(cluster >= caches.size(), "cluster out of range");
+    return caches[cluster].lookup(reg, now);
+}
+
+void
+DraUnit::writeback(PhysReg reg, Cycle now)
+{
+    filter.set(reg);
+    for (std::size_t c = 0; c < tables.size(); ++c) {
+        if (tables[c].count(reg) > 0) {
+            caches[c].insert(reg, now);
+            tables[c].clear(reg);
+        }
+    }
+}
+
+void
+DraUnit::regFreed(PhysReg reg)
+{
+    filter.clear(reg);
+    for (auto &t : tables)
+        t.clear(reg);
+    for (auto &c : caches)
+        c.invalidate(reg);
+}
+
+const ClusterRegisterCache &
+DraUnit::crc(ClusterId cluster) const
+{
+    panic_if(cluster >= caches.size(), "cluster out of range");
+    return caches[cluster];
+}
+
+const InsertionTable &
+DraUnit::insertionTable(ClusterId cluster) const
+{
+    panic_if(cluster >= tables.size(), "cluster out of range");
+    return tables[cluster];
+}
+
+std::uint64_t
+DraUnit::crcInsertions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : caches)
+        n += c.insertions();
+    return n;
+}
+
+std::uint64_t
+DraUnit::crcEvictions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : caches)
+        n += c.evictions();
+    return n;
+}
+
+std::uint64_t
+DraUnit::saturationDrops() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : tables)
+        n += t.saturationDrops();
+    return n;
+}
+
+void
+DraUnit::reset()
+{
+    filter.reset();
+    for (auto &t : tables)
+        t.reset();
+    for (auto &c : caches)
+        c.reset();
+    preReadCount = 0;
+}
+
+} // namespace loopsim

@@ -1,0 +1,157 @@
+#include "harness/experiment.hh"
+
+#include <memory>
+
+#include "base/logging.hh"
+#include "core/core.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace loopsim
+{
+
+double
+RunResult::scalar(const std::string &name) const
+{
+    auto it = scalars.find(name);
+    fatal_if(it == scalars.end(), "no such scalar in RunResult: ", name);
+    return it->second;
+}
+
+Config
+defaultFigureConfig()
+{
+    Config cfg;
+    // The paper's base machine (§2); all values are also the
+    // MachineConfig defaults, set explicitly here for documentation.
+    cfg.setUint("core.width", 8);
+    cfg.setUint("core.iq.entries", 128);
+    cfg.setUint("core.rob.entries", 256);
+    cfg.setUint("core.clusters", 8);
+    cfg.setUint("core.dec_iq", 5);
+    cfg.setUint("core.iq_ex", 5);
+    cfg.setUint("core.regfile_latency", 3);
+    cfg.setUint("core.fwd_depth", 9);
+    cfg.setUint("core.load_feedback", 3);
+    cfg.set("core.load_recovery", "reissue");
+    cfg.set("branch.mode", "profile");
+    return cfg;
+}
+
+void
+setPipeline(Config &cfg, unsigned dec_iq, unsigned iq_ex)
+{
+    fatal_if(iq_ex < 3, "IQ-EX latency must be >= 3 for a sweep point");
+    cfg.setUint("core.dec_iq", dec_iq);
+    cfg.setUint("core.iq_ex", iq_ex);
+    cfg.setUint("core.regfile_latency", iq_ex - 2);
+}
+
+void
+setBasePipeline(Config &cfg, unsigned regfile_latency)
+{
+    cfg.setBool("dra.enable", false);
+    cfg.setUint("core.dec_iq", 5);
+    cfg.setUint("core.iq_ex", regfile_latency + 2);
+    cfg.setUint("core.regfile_latency", regfile_latency);
+}
+
+void
+setDraPipeline(Config &cfg, unsigned regfile_latency)
+{
+    cfg.setBool("dra.enable", true);
+    // MachineConfig::applyDra() derives IQ-EX = 3 and
+    // DEC-IQ = max(5, rf + 2) from the base values.
+    cfg.setUint("core.dec_iq", 5);
+    cfg.setUint("core.iq_ex", regfile_latency + 2);
+    cfg.setUint("core.regfile_latency", regfile_latency);
+}
+
+RunResult
+runOnce(const RunSpec &spec)
+{
+    fatal_if(spec.workload.threads.empty(), "empty workload");
+    fatal_if(spec.totalOps == 0, "zero-length run");
+
+    Config cfg = defaultFigureConfig();
+    cfg.overlay(spec.overrides);
+
+    std::size_t n_threads = spec.workload.threads.size();
+    std::uint64_t per_thread =
+        (spec.totalOps + spec.warmupOps) / n_threads;
+    std::uint64_t warmup_total = spec.warmupOps;
+
+    std::vector<std::unique_ptr<SyntheticTraceGenerator>> gens;
+    std::vector<TraceSource *> sources;
+    for (std::size_t t = 0; t < n_threads; ++t) {
+        gens.push_back(std::make_unique<SyntheticTraceGenerator>(
+            spec.workload.threads[t], static_cast<ThreadId>(t),
+            per_thread));
+        sources.push_back(gens.back().get());
+    }
+
+    Core core(cfg, sources);
+    Simulator sim;
+    sim.add(&core);
+
+    // Warmup phase: run until the warmup ops retired, then reset the
+    // statistics and measure the rest of the trace.
+    while (warmup_total > 0 && core.retiredOps() < warmup_total &&
+           !core.done()) {
+        sim.run(1024);
+        fatal_if(sim.now() > spec.maxCycles,
+                 "warmup hit the cycle limit: ", spec.workload.label);
+    }
+    core.beginMeasurement();
+
+    sim.run(spec.maxCycles);
+    fatal_if(sim.hitCycleLimit(),
+             "run hit the cycle limit (deadlock or starvation?): ",
+             spec.workload.label);
+
+    RunResult res;
+    res.workloadLabel = figureLabel(spec.workload);
+    res.pipeLabel = core.machine().pipeLabel();
+    res.cycles = core.cyclesRun();
+    res.retired = static_cast<std::uint64_t>(
+        core.statGroup().lookupValue("core.retired"));
+    res.ipc = core.ipc();
+
+    const auto &src_vec = core.operandSourceStat();
+    for (std::size_t i = 0; i < src_vec.size(); ++i) {
+        res.operandSourceFractions.push_back(src_vec.fraction(i));
+        res.operandSourceCounts.push_back(src_vec.bin(i));
+    }
+
+    const auto &gap = core.operandGapStat();
+    res.gapCdf.reserve(129);
+    for (unsigned c = 0; c <= 128; ++c)
+        res.gapCdf.push_back(gap.cdf(static_cast<double>(c)));
+
+    static const char *copied[] = {
+        "cycles", "fetched", "wrongPathFetched", "renamed", "issued",
+        "reissued", "retired", "squashed", "branches",
+        "branchMispredicts", "loadMissEvents", "loadKilledOps",
+        "tlbTraps", "memOrderTraps", "operandMissEvents",
+        "recoveryStallCycles",
+    };
+    for (const char *name : copied) {
+        res.scalars[name] =
+            core.statGroup().lookupValue(std::string("core.") + name);
+    }
+    res.scalars["iqOccupancy"] =
+        core.statGroup().lookupValue("core.iqOccupancy");
+    res.scalars["robOccupancy"] =
+        core.statGroup().lookupValue("core.robOccupancy");
+
+    return res;
+}
+
+double
+speedup(const RunResult &test, const RunResult &baseline)
+{
+    fatal_if(baseline.ipc <= 0.0, "baseline run retired nothing");
+    return test.ipc / baseline.ipc;
+}
+
+} // namespace loopsim

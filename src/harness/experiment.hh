@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Experiment runner: builds a core + workload from a specification,
+ * runs it to completion, and extracts the measurements the paper's
+ * figures are built from.
+ */
+
+#ifndef LOOPSIM_HARNESS_EXPERIMENT_HH
+#define LOOPSIM_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/config.hh"
+#include "workload/workload_set.hh"
+
+namespace loopsim
+{
+
+/** One simulation run. */
+struct RunSpec
+{
+    Workload workload;
+    /** Machine/memory/branch configuration overlaid on the defaults. */
+    Config overrides;
+    /** Measured correct-path micro-ops across all threads. */
+    std::uint64_t totalOps = 200000;
+    /**
+     * Warmup micro-ops (across all threads) run before statistics are
+     * reset, mirroring the paper's warmed measurement methodology:
+     * caches, predictors and DRA structures keep their state.
+     */
+    std::uint64_t warmupOps = 60000;
+    /** Safety valve against configuration-induced livelock. */
+    Cycle maxCycles = 50000000;
+};
+
+/** Measurements extracted from a finished run. */
+struct RunResult
+{
+    std::string workloadLabel;
+    std::string pipeLabel;
+    Cycle cycles = 0;
+    std::uint64_t retired = 0;
+    double ipc = 0.0;
+
+    /** Figure 9: fractions of operand reads by location
+     *  (preread, forward, crc, regfile, payload, miss). */
+    std::vector<double> operandSourceFractions;
+    /** Raw operand-source counts in the same order. */
+    std::vector<double> operandSourceCounts;
+
+    /** Figure 6: empirical CDF of the operand-availability gap,
+     *  cdf[i] = P(gap <= i cycles), i in [0, 128]. */
+    std::vector<double> gapCdf;
+
+    /** Selected scalar statistics by name (core.<stat>). */
+    std::map<std::string, double> scalars;
+
+    double scalar(const std::string &name) const;
+};
+
+/**
+ * Build the default configuration for figure reproduction: the base
+ * machine of §2 with profile-mode branches.
+ */
+Config defaultFigureConfig();
+
+/**
+ * Apply a pipeline configuration in the paper's X_Y notation:
+ * DEC-IQ = @p dec_iq, IQ-EX = @p iq_ex. The register file latency is
+ * derived as iq_ex - 2 (issue + payload cycles), matching §2.1's
+ * decomposition of the base 5-cycle IQ-EX path.
+ */
+void setPipeline(Config &cfg, unsigned dec_iq, unsigned iq_ex);
+
+/**
+ * Apply the DRA transformation of §6 for a given register file
+ * latency: the base machine gets IQ-EX = rf + 2; the DRA machine gets
+ * IQ-EX = 3 and DEC-IQ = max(5, rf + 2).
+ */
+void setDraPipeline(Config &cfg, unsigned regfile_latency);
+void setBasePipeline(Config &cfg, unsigned regfile_latency);
+
+/** Run one simulation; fatal() if it hits the cycle limit. */
+RunResult runOnce(const RunSpec &spec);
+
+/** Relative speedup of @p test over @p baseline (IPC ratio). */
+double speedup(const RunResult &test, const RunResult &baseline);
+
+} // namespace loopsim
+
+#endif // LOOPSIM_HARNESS_EXPERIMENT_HH

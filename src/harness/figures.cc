@@ -1,0 +1,423 @@
+#include "harness/figures.hh"
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+namespace
+{
+
+std::vector<Workload>
+resolveAll(const std::vector<std::string> &names)
+{
+    std::vector<Workload> out;
+    out.reserve(names.size());
+    for (const auto &n : names)
+        out.push_back(resolveWorkload(n));
+    return out;
+}
+
+RunResult
+runConfig(const Workload &w, const Config &overrides,
+          std::uint64_t total_ops)
+{
+    RunSpec spec;
+    spec.workload = w;
+    spec.overrides = overrides;
+    spec.totalOps = total_ops;
+    return runOnce(spec);
+}
+
+} // anonymous namespace
+
+FigureData
+figure4(std::uint64_t total_ops)
+{
+    // DEC-IQ/IQ-EX pairs summing to 6, 10, 14, 18 cycles.
+    static const std::pair<unsigned, unsigned> points[] = {
+        {3, 3}, {5, 5}, {7, 7}, {9, 9}};
+
+    FigureData fig;
+    fig.title = "Figure 4: performance for varying pipeline length "
+                "(speedup relative to 6 cycles decode-to-execute)";
+    fig.valueUnit = "speedup";
+
+    for (const Workload &w : figureWorkloads()) {
+        fig.rowLabels.push_back(figureLabel(w));
+
+        RunResult baseline;
+        for (std::size_t p = 0; p < std::size(points); ++p) {
+            Config cfg;
+            setPipeline(cfg, points[p].first, points[p].second);
+            RunResult r = runConfig(w, cfg, total_ops);
+            if (p == 0)
+                baseline = r;
+            if (fig.columns.size() <= p) {
+                fig.columns.push_back(Series{
+                    std::to_string(points[p].first + points[p].second) +
+                        " cyc (" + r.pipeLabel + ")",
+                    {}});
+            }
+            fig.columns[p].values.push_back(speedup(r, baseline));
+        }
+    }
+    return fig;
+}
+
+FigureData
+figure5(std::uint64_t total_ops)
+{
+    static const std::pair<unsigned, unsigned> points[] = {
+        {3, 9}, {5, 7}, {7, 5}, {9, 3}};
+
+    FigureData fig;
+    fig.title = "Figure 5: performance for a fixed 12-cycle "
+                "decode-to-execute length (speedup relative to 3_9)";
+    fig.valueUnit = "speedup";
+
+    for (const Workload &w : figureWorkloads()) {
+        fig.rowLabels.push_back(figureLabel(w));
+
+        RunResult baseline;
+        for (std::size_t p = 0; p < std::size(points); ++p) {
+            Config cfg;
+            setPipeline(cfg, points[p].first, points[p].second);
+            RunResult r = runConfig(w, cfg, total_ops);
+            if (p == 0)
+                baseline = r;
+            if (fig.columns.size() <= p)
+                fig.columns.push_back(Series{r.pipeLabel, {}});
+            fig.columns[p].values.push_back(speedup(r, baseline));
+        }
+    }
+    return fig;
+}
+
+FigureData
+figure6(std::uint64_t total_ops, const std::vector<std::string> &workloads)
+{
+    FigureData fig;
+    fig.title = "Figure 6: CDF of cycles between first- and second-"
+                "operand availability (base 5_5 machine)";
+    fig.valueUnit = "cumulative fraction";
+
+    for (unsigned c = 0; c <= 64; ++c)
+        fig.rowLabels.push_back(std::to_string(c));
+
+    for (const Workload &w : resolveAll(workloads)) {
+        Config cfg; // base machine defaults
+        RunResult r = runConfig(w, cfg, total_ops);
+        Series s{figureLabel(w), {}};
+        for (unsigned c = 0; c <= 64; ++c)
+            s.values.push_back(r.gapCdf[c]);
+        fig.columns.push_back(std::move(s));
+    }
+    return fig;
+}
+
+FigureData
+figure8(std::uint64_t total_ops)
+{
+    static const unsigned rf_latencies[] = {3, 5, 7};
+
+    FigureData fig;
+    fig.title = "Figure 8: DRA speedup over the base machine for "
+                "register file latencies 3, 5 and 7 cycles";
+    fig.valueUnit = "speedup";
+
+    for (const Workload &w : figureWorkloads()) {
+        fig.rowLabels.push_back(figureLabel(w));
+
+        for (std::size_t p = 0; p < std::size(rf_latencies); ++p) {
+            unsigned rf = rf_latencies[p];
+            Config base_cfg;
+            setBasePipeline(base_cfg, rf);
+            Config dra_cfg;
+            setDraPipeline(dra_cfg, rf);
+
+            RunResult base = runConfig(w, base_cfg, total_ops);
+            RunResult dra = runConfig(w, dra_cfg, total_ops);
+
+            if (fig.columns.size() <= p) {
+                fig.columns.push_back(Series{
+                    "DRA:" + dra.pipeLabel + " vs Base:" + base.pipeLabel,
+                    {}});
+            }
+            fig.columns[p].values.push_back(speedup(dra, base));
+        }
+    }
+    return fig;
+}
+
+FigureData
+figure9(std::uint64_t total_ops)
+{
+    FigureData fig;
+    fig.title = "Figure 9: operand locations for the 7_3 DRA machine "
+                "(5-cycle register file)";
+    fig.valueUnit = "fraction of operand reads";
+
+    static const char *labels[] = {"pre-read", "fwd-buffer", "crc",
+                                   "miss"};
+    for (const char *l : labels)
+        fig.columns.push_back(Series{l, {}});
+
+    for (const Workload &w : figureWorkloads()) {
+        fig.rowLabels.push_back(figureLabel(w));
+        Config cfg;
+        setDraPipeline(cfg, 5);
+        RunResult r = runConfig(w, cfg, total_ops);
+        // operandSourceFractions order:
+        // preread, forward, crc, regfile, payload, miss
+        fig.columns[0].values.push_back(r.operandSourceFractions[0]);
+        fig.columns[1].values.push_back(r.operandSourceFractions[1]);
+        fig.columns[2].values.push_back(r.operandSourceFractions[2]);
+        fig.columns[3].values.push_back(r.operandSourceFractions[5]);
+    }
+    return fig;
+}
+
+FigureData
+ablationCrcSize(std::uint64_t total_ops,
+                const std::vector<std::string> &workloads)
+{
+    static const unsigned sizes[] = {4, 8, 16, 32, 64};
+
+    FigureData fig;
+    fig.title = "Ablation: CRC capacity (7_3 DRA; speedup relative to "
+                "the 16-entry design point)";
+    fig.valueUnit = "speedup";
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+
+        RunResult ref_run;
+        std::vector<RunResult> runs;
+        for (unsigned s : sizes) {
+            Config cfg;
+            setDraPipeline(cfg, 5);
+            cfg.setUint("dra.crc.entries", s);
+            RunResult r = runConfig(w, cfg, total_ops);
+            if (s == 16)
+                ref_run = r;
+            runs.push_back(std::move(r));
+        }
+        for (std::size_t p = 0; p < std::size(sizes); ++p) {
+            if (fig.columns.size() <= p) {
+                fig.columns.push_back(
+                    Series{std::to_string(sizes[p]) + " entries", {}});
+            }
+            fig.columns[p].values.push_back(speedup(runs[p], ref_run));
+        }
+    }
+    return fig;
+}
+
+FigureData
+ablationCrcRepl(std::uint64_t total_ops,
+                const std::vector<std::string> &workloads)
+{
+    static const char *policies[] = {"fifo", "lru"};
+
+    FigureData fig;
+    fig.title = "Ablation: CRC replacement policy (7_3 DRA; operand "
+                "miss rate per policy)";
+    fig.valueUnit = "operand miss fraction";
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+        for (std::size_t p = 0; p < std::size(policies); ++p) {
+            Config cfg;
+            setDraPipeline(cfg, 5);
+            cfg.set("dra.crc.repl", policies[p]);
+            RunResult r = runConfig(w, cfg, total_ops);
+            if (fig.columns.size() <= p)
+                fig.columns.push_back(Series{policies[p], {}});
+            fig.columns[p].values.push_back(r.operandSourceFractions[5]);
+        }
+    }
+    return fig;
+}
+
+FigureData
+ablationInsertionBits(std::uint64_t total_ops,
+                      const std::vector<std::string> &workloads)
+{
+    static const unsigned widths[] = {1, 2, 3};
+
+    FigureData fig;
+    fig.title = "Ablation: insertion-table counter width (7_3 DRA; "
+                "operand miss rate per width)";
+    fig.valueUnit = "operand miss fraction";
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+        for (std::size_t p = 0; p < std::size(widths); ++p) {
+            Config cfg;
+            setDraPipeline(cfg, 5);
+            cfg.setUint("dra.insertion_bits", widths[p]);
+            RunResult r = runConfig(w, cfg, total_ops);
+            if (fig.columns.size() <= p) {
+                fig.columns.push_back(
+                    Series{std::to_string(widths[p]) + " bits", {}});
+            }
+            fig.columns[p].values.push_back(r.operandSourceFractions[5]);
+        }
+    }
+    return fig;
+}
+
+FigureData
+ablationLoadRecovery(std::uint64_t total_ops,
+                     const std::vector<std::string> &workloads)
+{
+    static const char *modes[] = {"reissue", "refetch", "stall"};
+
+    FigureData fig;
+    fig.title = "Ablation: load mis-speculation recovery policy (base "
+                "5_5 machine; speedup relative to reissue)";
+    fig.valueUnit = "speedup";
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+
+        RunResult ref_run;
+        for (std::size_t p = 0; p < std::size(modes); ++p) {
+            Config cfg;
+            cfg.set("core.load_recovery", modes[p]);
+            RunResult r = runConfig(w, cfg, total_ops);
+            if (p == 0)
+                ref_run = r;
+            if (fig.columns.size() <= p)
+                fig.columns.push_back(Series{modes[p], {}});
+            fig.columns[p].values.push_back(speedup(r, ref_run));
+        }
+    }
+    return fig;
+}
+
+FigureData
+ablationKillShadow(std::uint64_t total_ops,
+                   const std::vector<std::string> &workloads)
+{
+    FigureData fig;
+    fig.title = "Ablation: dependency-tree reissue vs 21264-style "
+                "kill-all-in-shadow (base 5_5; speedup relative to "
+                "tree reissue)";
+    fig.valueUnit = "speedup";
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+
+        Config tree_cfg;
+        tree_cfg.setBool("core.kill_all_in_shadow", false);
+        RunResult tree = runConfig(w, tree_cfg, total_ops);
+
+        Config shadow_cfg;
+        shadow_cfg.setBool("core.kill_all_in_shadow", true);
+        RunResult shadow = runConfig(w, shadow_cfg, total_ops);
+
+        if (fig.columns.empty()) {
+            fig.columns.push_back(Series{"dep-tree", {}});
+            fig.columns.push_back(Series{"kill-shadow", {}});
+        }
+        fig.columns[0].values.push_back(1.0);
+        fig.columns[1].values.push_back(speedup(shadow, tree));
+    }
+    return fig;
+}
+
+FigureData
+ablationFwdDepth(std::uint64_t total_ops,
+                 const std::vector<std::string> &workloads)
+{
+    static const unsigned depths[] = {5, 7, 9, 13, 17};
+
+    FigureData fig;
+    fig.title = "Ablation: forwarding-buffer depth (7_3 DRA; fraction "
+                "of operands read from the forwarding buffer)";
+    fig.valueUnit = "fraction of operand reads";
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+        for (std::size_t p = 0; p < std::size(depths); ++p) {
+            Config cfg;
+            setDraPipeline(cfg, 5);
+            cfg.setUint("core.fwd_depth", depths[p]);
+            RunResult r = runConfig(w, cfg, total_ops);
+            if (fig.columns.size() <= p) {
+                fig.columns.push_back(
+                    Series{std::to_string(depths[p]) + " cyc", {}});
+            }
+            fig.columns[p].values.push_back(r.operandSourceFractions[1]);
+        }
+    }
+    return fig;
+}
+
+FigureData
+ablationMemDep(std::uint64_t total_ops,
+               const std::vector<std::string> &workloads)
+{
+    FigureData fig;
+    fig.title = "Ablation: the memory trap loop (base 5_5; load/store "
+                "reorder traps + wait table vs no ordering model; "
+                "speedup relative to ordering on)";
+    fig.valueUnit = "speedup";
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+
+        Config on_cfg;
+        on_cfg.setBool("core.memdep.enable", true);
+        RunResult on = runConfig(w, on_cfg, total_ops);
+
+        Config off_cfg;
+        off_cfg.setBool("core.memdep.enable", false);
+        RunResult off = runConfig(w, off_cfg, total_ops);
+
+        if (fig.columns.empty()) {
+            fig.columns.push_back(Series{"ordering on", {}});
+            fig.columns.push_back(Series{"ordering off", {}});
+            fig.columns.push_back(Series{"traps/op", {}});
+        }
+        fig.columns[0].values.push_back(1.0);
+        fig.columns[1].values.push_back(speedup(off, on));
+        fig.columns[2].values.push_back(
+            on.scalar("memOrderTraps") /
+            static_cast<double>(on.retired));
+    }
+    return fig;
+}
+
+FigureData
+ablationCrcTimeout(std::uint64_t total_ops,
+                   const std::vector<std::string> &workloads)
+{
+    static const std::uint64_t timeouts[] = {0, 256, 64, 16};
+
+    FigureData fig;
+    fig.title = "Ablation: CRC stale-entry policy (7_3 DRA; operand "
+                "miss fraction for invalidate-only vs entry timeouts)";
+    fig.valueUnit = "operand miss fraction";
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+        for (std::size_t p = 0; p < std::size(timeouts); ++p) {
+            Config cfg;
+            setDraPipeline(cfg, 5);
+            cfg.setUint("dra.crc.timeout", timeouts[p]);
+            RunResult r = runConfig(w, cfg, total_ops);
+            if (fig.columns.size() <= p) {
+                std::string label = timeouts[p] == 0
+                    ? "invalidate" : std::to_string(timeouts[p]) + " cyc";
+                fig.columns.push_back(Series{label, {}});
+            }
+            fig.columns[p].values.push_back(r.operandSourceFractions[5]);
+        }
+    }
+    return fig;
+}
+
+} // namespace loopsim

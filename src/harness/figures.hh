@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-figure experiment drivers. Each function regenerates the data of
+ * one figure of the paper's evaluation; the bench binaries print the
+ * results via report.hh.
+ */
+
+#ifndef LOOPSIM_HARNESS_FIGURES_HH
+#define LOOPSIM_HARNESS_FIGURES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace loopsim
+{
+
+/** A labelled column of per-workload values. */
+struct Series
+{
+    std::string label;
+    std::vector<double> values;
+};
+
+/** A complete figure: rows are workloads (or x-values). */
+struct FigureData
+{
+    std::string title;
+    std::string valueUnit; ///< "speedup" / "fraction" / ...
+    std::vector<std::string> rowLabels;
+    std::vector<Series> columns;
+};
+
+/**
+ * Figure 4: performance for varying pipeline length. DEC-IQ + IQ-EX is
+ * swept over {6, 10, 14, 18} (configs 3_3, 5_5, 7_7, 9_9); every value
+ * is speedup relative to the 6-cycle machine for that workload.
+ */
+FigureData figure4(std::uint64_t total_ops);
+
+/**
+ * Figure 5: performance for a fixed overall pipeline length of 12,
+ * configurations 3_9, 5_7, 7_5, 9_3, relative to 3_9.
+ */
+FigureData figure5(std::uint64_t total_ops);
+
+/**
+ * Figure 6: cumulative distribution of the cycles between first- and
+ * second-operand availability, for one benchmark (turb3d in the
+ * paper). Rows are cycle values 0..64; one column per workload given.
+ */
+FigureData figure6(std::uint64_t total_ops,
+                   const std::vector<std::string> &workloads = {"turb3d"});
+
+/**
+ * Figure 8: DRA vs base speedups for register-file latencies 3, 5, 7
+ * (DRA:5_3 vs Base:5_5, DRA:7_3 vs Base:5_7, DRA:9_3 vs Base:5_9).
+ */
+FigureData figure8(std::uint64_t total_ops);
+
+/**
+ * Figure 9: operand-location breakdown (pre-read / forwarding buffer /
+ * CRC / miss) for the 7_3 DRA machine (5-cycle register file).
+ */
+FigureData figure9(std::uint64_t total_ops);
+
+/** @name Ablations called out in DESIGN.md §5 */
+/// @{
+/** CRC capacity sweep (4..64 entries) on the 7_3 DRA machine. */
+FigureData ablationCrcSize(std::uint64_t total_ops,
+                           const std::vector<std::string> &workloads);
+/** CRC replacement (fifo vs lru) on the 7_3 DRA machine. */
+FigureData ablationCrcRepl(std::uint64_t total_ops,
+                           const std::vector<std::string> &workloads);
+/** Insertion-table counter width (1..3 bits). */
+FigureData ablationInsertionBits(std::uint64_t total_ops,
+                                 const std::vector<std::string> &workloads);
+/** Load recovery policy: reissue vs refetch vs stall (§2.2.2). */
+FigureData ablationLoadRecovery(std::uint64_t total_ops,
+                                const std::vector<std::string> &workloads);
+/** Dependence-tree reissue vs 21264 kill-all-in-shadow. */
+FigureData ablationKillShadow(std::uint64_t total_ops,
+                              const std::vector<std::string> &workloads);
+/** Forwarding-buffer depth sweep on the base machine. */
+FigureData ablationFwdDepth(std::uint64_t total_ops,
+                            const std::vector<std::string> &workloads);
+/** Memory trap loop: reorder traps + wait table on vs off. */
+FigureData ablationMemDep(std::uint64_t total_ops,
+                          const std::vector<std::string> &workloads);
+/** §5.5 CRC stale-entry handling: invalidate-only vs timeouts. */
+FigureData ablationCrcTimeout(std::uint64_t total_ops,
+                              const std::vector<std::string> &workloads);
+/// @}
+
+} // namespace loopsim
+
+#endif // LOOPSIM_HARNESS_FIGURES_HH

@@ -1,0 +1,64 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+
+#include "base/str.hh"
+
+namespace loopsim
+{
+
+void
+printFigure(std::ostream &os, const FigureData &fig, ValueFormat format)
+{
+    os << fig.title << "\n";
+    if (!fig.valueUnit.empty())
+        os << "(values: " << fig.valueUnit << ")\n";
+
+    std::size_t label_w = 9;
+    for (const auto &l : fig.rowLabels)
+        label_w = std::max(label_w, l.size() + 1);
+
+    std::size_t col_w = 9;
+    for (const auto &c : fig.columns)
+        col_w = std::max(col_w, c.label.size() + 2);
+
+    os << padRight("", label_w);
+    for (const auto &c : fig.columns)
+        os << padLeft(c.label, col_w);
+    os << "\n";
+
+    for (std::size_t row = 0; row < fig.rowLabels.size(); ++row) {
+        os << padRight(fig.rowLabels[row], label_w);
+        for (const auto &c : fig.columns) {
+            std::string cell = "-";
+            if (row < c.values.size()) {
+                cell = format == ValueFormat::Percent
+                           ? formatPercent(c.values[row], 1)
+                           : formatDouble(c.values[row], 3);
+            }
+            os << padLeft(cell, col_w);
+        }
+        os << "\n";
+    }
+    os << "\n";
+}
+
+void
+printCsv(std::ostream &os, const FigureData &fig)
+{
+    os << "label";
+    for (const auto &c : fig.columns)
+        os << "," << c.label;
+    os << "\n";
+    for (std::size_t row = 0; row < fig.rowLabels.size(); ++row) {
+        os << fig.rowLabels[row];
+        for (const auto &c : fig.columns) {
+            os << ",";
+            if (row < c.values.size())
+                os << formatDouble(c.values[row], 6);
+        }
+        os << "\n";
+    }
+}
+
+} // namespace loopsim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Text rendering of figure data: fixed-width tables (the paper's
+ * "rows/series") plus optional CSV output for plotting.
+ */
+
+#ifndef LOOPSIM_HARNESS_REPORT_HH
+#define LOOPSIM_HARNESS_REPORT_HH
+
+#include <ostream>
+
+#include "harness/figures.hh"
+
+namespace loopsim
+{
+
+/** How values are rendered in printFigure(). */
+enum class ValueFormat
+{
+    Percent, ///< 0.954 -> "95.4%"
+    Ratio,   ///< 0.954 -> "0.954"
+};
+
+/** Render @p fig as an aligned table. */
+void printFigure(std::ostream &os, const FigureData &fig,
+                 ValueFormat format = ValueFormat::Percent);
+
+/** Render @p fig as CSV (header row then one row per label). */
+void printCsv(std::ostream &os, const FigureData &fig);
+
+} // namespace loopsim
+
+#endif // LOOPSIM_HARNESS_REPORT_HH

@@ -1,0 +1,141 @@
+#include "mem/cache.hh"
+
+#include <utility>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace loopsim
+{
+
+ReplPolicy
+parseReplPolicy(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "lru")
+        return ReplPolicy::LRU;
+    if (n == "fifo")
+        return ReplPolicy::FIFO;
+    if (n == "random")
+        return ReplPolicy::Random;
+    fatal("unknown replacement policy: ", name);
+}
+
+Cache::Cache(std::uint64_t size_bytes, unsigned assoc, unsigned line_bytes,
+             ReplPolicy policy, unsigned banks)
+    : bytes(size_bytes), assoc(assoc), line(line_bytes),
+      lineShift(floorLog2(line_bytes)),
+      sets(assoc && line_bytes
+               ? size_bytes / (std::uint64_t(assoc) * line_bytes) : 0),
+      policy(policy), banks(banks), lines(sets * assoc),
+      rng(size_bytes ^ 0xcafef00dULL)
+{
+    fatal_if(assoc == 0, "cache associativity must be > 0");
+    fatal_if(!isPowerOf2(line_bytes), "cache line size must be 2^n");
+    fatal_if(sets == 0, "cache smaller than one set");
+    fatal_if(!isPowerOf2(sets), "cache set count must be 2^n");
+    fatal_if(!isPowerOf2(banks), "cache bank count must be 2^n");
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift) & (sets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift;
+}
+
+unsigned
+Cache::bank(Addr addr) const
+{
+    return (addr >> lineShift) & (banks - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    return const_cast<Line *>(std::as_const(*this).findLine(addr));
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    std::size_t base = setIndex(addr) * assoc;
+    Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc; ++w) {
+        const Line &l = lines[base + w];
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+Cache::Line *
+Cache::victim(std::size_t set)
+{
+    std::size_t base = set * assoc;
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (!lines[base + w].valid)
+            return &lines[base + w];
+    }
+    if (policy == ReplPolicy::Random)
+        return &lines[base + rng.nextBounded(assoc)];
+
+    // LRU and FIFO both evict the smallest stamp; they differ in
+    // whether access() refreshes it.
+    Line *v = &lines[base];
+    for (unsigned w = 1; w < assoc; ++w) {
+        if (lines[base + w].stamp < v->stamp)
+            v = &lines[base + w];
+    }
+    return v;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    Line *l = findLine(addr);
+    if (l) {
+        ++hitCount;
+        if (policy == ReplPolicy::LRU)
+            l->stamp = ++stamp;
+        return true;
+    }
+    ++missCount;
+    Line *v = victim(setIndex(addr));
+    v->valid = true;
+    v->tag = tagOf(addr);
+    v->stamp = ++stamp;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    Line *l = findLine(addr);
+    if (l)
+        l->valid = false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines)
+        l = Line{};
+    stamp = 0;
+    hitCount = 0;
+    missCount = 0;
+}
+
+} // namespace loopsim

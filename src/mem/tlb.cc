@@ -1,0 +1,59 @@
+#include "mem/tlb.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+Tlb::Tlb(std::size_t num_entries, std::uint64_t page_bytes)
+    : entries(num_entries), pageSize(page_bytes)
+{
+    fatal_if(num_entries == 0, "TLB must have entries");
+    fatal_if(!isPowerOf2(page_bytes), "page size must be 2^n");
+}
+
+bool
+Tlb::access(Addr addr, ThreadId tid)
+{
+    Addr vpn = vpnOf(addr);
+    Entry *lru = &entries[0];
+    for (auto &e : entries) {
+        if (e.valid && e.vpn == vpn && e.tid == tid) {
+            e.stamp = ++stamp;
+            ++hitCount;
+            return true;
+        }
+        if (!e.valid || e.stamp < lru->stamp)
+            lru = &e;
+    }
+    ++missCount;
+    lru->valid = true;
+    lru->vpn = vpn;
+    lru->tid = tid;
+    lru->stamp = ++stamp;
+    return false;
+}
+
+bool
+Tlb::probe(Addr addr, ThreadId tid) const
+{
+    Addr vpn = vpnOf(addr);
+    for (const auto &e : entries) {
+        if (e.valid && e.vpn == vpn && e.tid == tid)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    stamp = 0;
+    hitCount = 0;
+    missCount = 0;
+}
+
+} // namespace loopsim

@@ -1,0 +1,39 @@
+#include "sim/simulator.hh"
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+void
+Simulator::add(Clocked *component)
+{
+    panic_if(!component, "registering a null component");
+    components.push_back(component);
+}
+
+Cycle
+Simulator::run(Cycle max_cycles)
+{
+    panic_if(components.empty(), "Simulator::run with no components");
+    Cycle start = currentCycle;
+    cycleLimited = false;
+
+    while (currentCycle - start < max_cycles) {
+        bool all_done = true;
+        for (Clocked *c : components) {
+            if (!c->done())
+                all_done = false;
+        }
+        if (all_done)
+            return currentCycle - start;
+
+        for (Clocked *c : components)
+            c->tick(currentCycle);
+        ++currentCycle;
+    }
+    cycleLimited = true;
+    return currentCycle - start;
+}
+
+} // namespace loopsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cycle-driven simulation kernel.
+ *
+ * The kernel is deliberately simple: every registered Clocked component
+ * is ticked once per simulated cycle, in registration order, until all
+ * components report completion or a cycle limit is reached. Components
+ * model their own internal pipelining and propagation delays; the kernel
+ * guarantees only a global, monotonically increasing cycle count.
+ */
+
+#ifndef LOOPSIM_SIM_SIMULATOR_HH
+#define LOOPSIM_SIM_SIMULATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace loopsim
+{
+
+/** Anything driven by the global clock. */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance one cycle; @p now is the cycle being executed. */
+    virtual void tick(Cycle now) = 0;
+
+    /** True once this component has no further work. */
+    virtual bool done() const = 0;
+
+    /** Human-readable identity for error messages. */
+    virtual std::string name() const { return "clocked"; }
+};
+
+/** The global clock driver. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Register a component; the simulator does not take ownership. */
+    void add(Clocked *component);
+
+    /**
+     * Run until every component is done or @p max_cycles elapse.
+     * @return the number of cycles actually simulated.
+     */
+    Cycle run(Cycle max_cycles);
+
+    /** Current cycle (the next cycle to be executed). */
+    Cycle now() const { return currentCycle; }
+
+    /** True iff the last run() ended because of the cycle limit. */
+    bool hitCycleLimit() const { return cycleLimited; }
+
+  private:
+    std::vector<Clocked *> components;
+    Cycle currentCycle = 0;
+    bool cycleLimited = false;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,72 @@
+#include "workload/micro_op.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace loopsim
+{
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMult: return "IntMult";
+      case OpClass::FpAdd: return "FpAdd";
+      case OpClass::FpMult: return "FpMult";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::BranchCond: return "BranchCond";
+      case OpClass::BranchUncond: return "BranchUncond";
+      case OpClass::MemBarrier: return "MemBarrier";
+      case OpClass::Nop: return "Nop";
+      default: panic("unknown op class");
+    }
+}
+
+unsigned
+opClassLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 7;
+      case OpClass::FpAdd: return 4;
+      case OpClass::FpMult: return 4;
+      case OpClass::FpDiv: return 12;
+      // Loads take address generation here; the cache access latency is
+      // resolved separately by the memory hierarchy.
+      case OpClass::Load: return 1;
+      case OpClass::Store: return 1;
+      case OpClass::BranchCond: return 1;
+      case OpClass::BranchUncond: return 1;
+      case OpClass::MemBarrier: return 1;
+      case OpClass::Nop: return 1;
+      default: panic("unknown op class");
+    }
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream os;
+    os << "[t" << int(tid) << " #" << seq << " pc=0x" << std::hex << pc
+       << std::dec << " " << opClassName(opClass);
+    if (hasDest())
+        os << " d=r" << dest;
+    for (unsigned i = 0; i < 2; ++i) {
+        if (src[i] != invalidArchReg)
+            os << " s" << i << "=r" << src[i];
+    }
+    if (isBranch())
+        os << (taken ? " T" : " N");
+    if (isLoad() || isStore())
+        os << " @0x" << std::hex << effAddr << std::dec;
+    if (wrongPath)
+        os << " WP";
+    os << "]";
+    return os.str();
+}
+
+} // namespace loopsim

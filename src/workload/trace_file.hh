@@ -1,0 +1,78 @@
+/**
+ * @file
+ * On-disk trace format, so externally produced traces (or expensive
+ * synthetic ones) can be replayed. The format is a little-endian packed
+ * record stream with a small header; see TraceWriter for layout.
+ */
+
+#ifndef LOOPSIM_WORKLOAD_TRACE_FILE_HH
+#define LOOPSIM_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "workload/generator.hh"
+#include "workload/micro_op.hh"
+
+namespace loopsim
+{
+
+/**
+ * Serialises micro-ops to a trace file.
+ *
+ * Layout: 16-byte header {magic "LSTR", u32 version, u64 count}
+ * followed by one 40-byte record per op.
+ */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on I/O failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one op. */
+    void append(const MicroOp &op);
+
+    /** Patch the header count and close; called by the destructor. */
+    void finish();
+
+    std::uint64_t written() const { return count; }
+
+  private:
+    std::FILE *file;
+    std::string path;
+    std::uint64_t count = 0;
+    bool finished = false;
+};
+
+/** Replays a trace file as a TraceSource. */
+class TraceReader : public TraceSource
+{
+  public:
+    /** Open @p path; fatal() on missing file or bad magic/version. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(MicroOp &op) override;
+    void reset() override;
+    std::string name() const override { return path; }
+
+    std::uint64_t length() const { return total; }
+
+  private:
+    std::FILE *file;
+    std::string path;
+    std::uint64_t total = 0;
+    std::uint64_t consumed = 0;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_WORKLOAD_TRACE_FILE_HH

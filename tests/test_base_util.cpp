@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for base utilities: integer math, strings, saturating
+ * counters, circular buffers, and the logging macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/circular_buffer.hh"
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/sat_counter.hh"
+#include "base/str.hh"
+
+using namespace loopsim;
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(IntMath, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(IntMath, DivCeilAndRounding)
+{
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+    EXPECT_EQ(roundDown(13, 8), 8u);
+}
+
+TEST(Str, TrimAndSplit)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Str, PrefixAndCase)
+{
+    EXPECT_TRUE(startsWith("core.iq", "core."));
+    EXPECT_FALSE(startsWith("co", "core"));
+    EXPECT_EQ(toLower("SwIm"), "swim");
+}
+
+TEST(Str, Formatting)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatPercent(0.1234, 1), "12.3%");
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+    EXPECT_EQ(padLeft("abcd", 3), "abcd");
+}
+
+TEST(SatCounter, SaturatesBothWays)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.max(), 3u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, MsbThreshold)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.msb()); // 0
+    c.increment();
+    EXPECT_FALSE(c.msb()); // 1
+    c.increment();
+    EXPECT_TRUE(c.msb()); // 2
+    c.increment();
+    EXPECT_TRUE(c.msb()); // 3
+}
+
+TEST(SatCounter, SetClampsAndReset)
+{
+    SatCounter c(3);
+    c.set(100);
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, BadWidthPanics)
+{
+    EXPECT_THROW(SatCounter(0), PanicError);
+    EXPECT_THROW(SatCounter(17), PanicError);
+    EXPECT_THROW(SatCounter(2, 4), PanicError);
+}
+
+TEST(CircularBuffer, FifoOrder)
+{
+    CircularBuffer<int> buf(4);
+    EXPECT_TRUE(buf.empty());
+    buf.push(1);
+    buf.push(2);
+    buf.push(3);
+    EXPECT_EQ(buf.size(), 3u);
+    EXPECT_EQ(buf.front(), 1);
+    EXPECT_EQ(buf.back(), 3);
+    EXPECT_EQ(buf.pop(), 1);
+    EXPECT_EQ(buf.pop(), 2);
+    buf.push(4);
+    buf.push(5);
+    buf.push(6);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.pop(), 3);
+    EXPECT_EQ(buf.pop(), 4);
+}
+
+TEST(CircularBuffer, IndexedAccess)
+{
+    CircularBuffer<int> buf(3);
+    buf.push(10);
+    buf.push(20);
+    buf.pop();
+    buf.push(30);
+    buf.push(40); // storage wrapped
+    EXPECT_EQ(buf[0], 20);
+    EXPECT_EQ(buf[1], 30);
+    EXPECT_EQ(buf[2], 40);
+}
+
+TEST(CircularBuffer, PopBack)
+{
+    CircularBuffer<int> buf(3);
+    buf.push(1);
+    buf.push(2);
+    EXPECT_EQ(buf.popBack(), 2);
+    EXPECT_EQ(buf.back(), 1);
+}
+
+TEST(CircularBuffer, ErrorsPanic)
+{
+    CircularBuffer<int> buf(2);
+    EXPECT_THROW(buf.pop(), PanicError);
+    EXPECT_THROW(buf.front(), PanicError);
+    EXPECT_THROW(buf[0], PanicError);
+    buf.push(1);
+    buf.push(2);
+    EXPECT_THROW(buf.push(3), PanicError);
+    EXPECT_THROW(CircularBuffer<int>(0), PanicError);
+}
+
+TEST(Logging, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    EXPECT_THROW(fatal("user error ", "x"), FatalError);
+    EXPECT_THROW(panic_if(true, "cond"), PanicError);
+    EXPECT_NO_THROW(panic_if(false, "cond"));
+    EXPECT_THROW(fatal_if(true, "cond"), FatalError);
+    EXPECT_NO_THROW(fatal_if(false, "cond"));
+}
+
+TEST(Logging, MessagesCarryContent)
+{
+    try {
+        panic("value=", 7, " name=", "x");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("value=7"), std::string::npos);
+        EXPECT_NE(msg.find("name=x"), std::string::npos);
+    }
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the branch prediction substrate: direction predictors,
+ * BTB, and return-address stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "branch/bimodal.hh"
+#include "branch/btb.hh"
+#include "branch/gshare.hh"
+#include "branch/predictor.hh"
+#include "branch/ras.hh"
+#include "branch/tournament.hh"
+#include "sim/config.hh"
+
+using namespace loopsim;
+
+namespace
+{
+
+/** Train and score a predictor on a synthetic branch stream. */
+double
+accuracy(DirectionPredictor &pred,
+         const std::vector<std::pair<Addr, bool>> &stream, ThreadId tid = 0)
+{
+    int correct = 0;
+    for (const auto &[pc, taken] : stream) {
+        if (pred.predict(pc, tid) == taken)
+            ++correct;
+        pred.update(pc, tid, taken);
+    }
+    return double(correct) / double(stream.size());
+}
+
+std::vector<std::pair<Addr, bool>>
+biasedStream(int n, double bias, Addr pc = 0x100)
+{
+    Pcg32 rng(1234);
+    std::vector<std::pair<Addr, bool>> s;
+    for (int i = 0; i < n; ++i)
+        s.emplace_back(pc, rng.chance(bias));
+    return s;
+}
+
+} // anonymous namespace
+
+TEST(Bimodal, LearnsStrongBias)
+{
+    BimodalPredictor pred(1024);
+    EXPECT_GT(accuracy(pred, biasedStream(4000, 0.95)), 0.9);
+    BimodalPredictor pred2(1024);
+    EXPECT_GT(accuracy(pred2, biasedStream(4000, 0.05)), 0.9);
+}
+
+TEST(Bimodal, SeparateCountersPerPc)
+{
+    BimodalPredictor pred(1024);
+    for (int i = 0; i < 50; ++i) {
+        pred.update(0x100, 0, true);
+        pred.update(0x104, 0, false);
+    }
+    EXPECT_TRUE(pred.predict(0x100, 0));
+    EXPECT_FALSE(pred.predict(0x104, 0));
+}
+
+TEST(Bimodal, ResetRestoresNeutrality)
+{
+    BimodalPredictor pred(64);
+    for (int i = 0; i < 100; ++i)
+        pred.update(0x10, 0, false);
+    EXPECT_FALSE(pred.predict(0x10, 0));
+    pred.reset();
+    // Weakly-taken initial state.
+    EXPECT_TRUE(pred.predict(0x10, 0));
+}
+
+TEST(Bimodal, NonPowerOfTwoFatal)
+{
+    EXPECT_THROW(BimodalPredictor(1000), FatalError);
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    // A strict alternation is invisible to bimodal but trivial with
+    // global history.
+    GsharePredictor gshare(4096, 8);
+    BimodalPredictor bimodal(4096);
+    std::vector<std::pair<Addr, bool>> stream;
+    for (int i = 0; i < 4000; ++i)
+        stream.emplace_back(0x200, i % 2 == 0);
+    double g = accuracy(gshare, stream);
+    double b = accuracy(bimodal, stream);
+    EXPECT_GT(g, 0.95);
+    EXPECT_LT(b, 0.7);
+}
+
+TEST(Gshare, PerThreadHistories)
+{
+    GsharePredictor pred(4096, 10);
+    pred.update(0x10, 0, true);
+    pred.update(0x10, 0, true);
+    EXPECT_NE(pred.history(0), pred.history(1));
+    EXPECT_EQ(pred.history(1), 0u);
+}
+
+TEST(Gshare, BadGeometryFatal)
+{
+    EXPECT_THROW(GsharePredictor(1000, 8), FatalError);
+    EXPECT_THROW(GsharePredictor(256, 10), FatalError); // history > index
+    EXPECT_THROW(GsharePredictor(256, 0), FatalError);
+}
+
+TEST(Tournament, BeatsComponentsOnMixedStream)
+{
+    // Half the branches follow a per-branch bias (local predictor
+    // territory), half follow an alternation (global territory).
+    Pcg32 rng(7);
+    std::vector<std::pair<Addr, bool>> stream;
+    int phase = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (i % 2 == 0) {
+            stream.emplace_back(0x400, (phase++ % 2) == 0);
+        } else {
+            stream.emplace_back(0x800, rng.chance(0.97));
+        }
+    }
+    TournamentPredictor t;
+    double acc = accuracy(t, stream);
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST(Tournament, LearnsLocalPeriodicPattern)
+{
+    // Period-4 pattern TTTN needs local history, not bias.
+    TournamentPredictor t;
+    std::vector<std::pair<Addr, bool>> stream;
+    for (int i = 0; i < 8000; ++i)
+        stream.emplace_back(0x300, i % 4 != 3);
+    EXPECT_GT(accuracy(t, stream), 0.9);
+}
+
+TEST(Tournament, BadGeometryFatal)
+{
+    EXPECT_THROW(TournamentPredictor(1000, 10, 4096, 12), FatalError);
+    EXPECT_THROW(TournamentPredictor(1024, 0, 4096, 12), FatalError);
+    EXPECT_THROW(TournamentPredictor(1024, 10, 4096, 13), FatalError);
+}
+
+TEST(PredictorFactory, BuildsAllKinds)
+{
+    Config cfg;
+    for (const char *kind : {"bimodal", "gshare", "tournament"}) {
+        auto p = makeDirectionPredictor(kind, cfg);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), kind);
+    }
+    EXPECT_THROW(makeDirectionPredictor("neural", cfg), FatalError);
+}
+
+TEST(PredictorFactory, HonoursConfigSizes)
+{
+    Config cfg;
+    cfg.setUint("branch.bimodal.entries", 128);
+    auto p = makeDirectionPredictor("bimodal", cfg);
+    auto *b = dynamic_cast<BimodalPredictor *>(p.get());
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->size(), 128u);
+}
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb btb(256, 4);
+    EXPECT_FALSE(btb.lookup(0x1000, 0).has_value());
+    btb.update(0x1000, 0, 0x2000);
+    auto t = btb.lookup(0x1000, 0);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x2000u);
+}
+
+TEST(Btb, PerThreadTags)
+{
+    Btb btb(256, 4);
+    btb.update(0x1000, 0, 0x2000);
+    EXPECT_FALSE(btb.lookup(0x1000, 1).has_value());
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb(256, 4);
+    btb.update(0x1000, 0, 0x2000);
+    btb.update(0x1000, 0, 0x3000);
+    EXPECT_EQ(*btb.lookup(0x1000, 0), 0x3000u);
+}
+
+TEST(Btb, LruEvictionWithinSet)
+{
+    Btb btb(16, 4); // 4 sets x 4 ways
+    // Five conflicting branches in one set (same set index bits).
+    Addr base = 0x1000;
+    std::size_t sets = btb.sets();
+    for (int i = 0; i < 5; ++i)
+        btb.update(base + i * 4 * sets, 0, 0x9000 + i);
+    // The first-inserted (LRU) entry is gone, the rest survive.
+    EXPECT_FALSE(btb.lookup(base + 0 * 4 * sets, 0).has_value());
+    for (int i = 1; i < 5; ++i)
+        EXPECT_TRUE(btb.lookup(base + i * 4 * sets, 0).has_value());
+}
+
+TEST(Btb, ResetForgetsEverything)
+{
+    Btb btb(64, 4);
+    btb.update(0x42, 0, 0x43);
+    btb.reset();
+    EXPECT_FALSE(btb.lookup(0x42, 0).has_value());
+}
+
+TEST(Btb, BadGeometryFatal)
+{
+    EXPECT_THROW(Btb(100, 3), FatalError);
+    EXPECT_THROW(Btb(128, 0), FatalError);
+}
+
+TEST(Ras, PushPopMatch)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), 0u); // empty pops are harmless
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a * 0x10);
+    EXPECT_EQ(ras.size(), 4u);
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+}
+
+TEST(Ras, CheckpointRestoreRepairsSpeculation)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    auto cp = ras.checkpoint();
+
+    // Wrong path: pops the good entry and pushes junk over it.
+    EXPECT_EQ(ras.pop(), 0x200u);
+    ras.push(0xdead);
+    ras.push(0xbeef);
+
+    ras.restore(cp);
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, RestoreToEmpty)
+{
+    ReturnAddressStack ras(4);
+    auto cp = ras.checkpoint();
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.restore(cp);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, ZeroCapacityFatal)
+{
+    EXPECT_THROW(ReturnAddressStack(0), FatalError);
+}

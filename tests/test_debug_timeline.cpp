@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the debug-trace flags and the pipeline timeline recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/debug.hh"
+#include "core_test_util.hh"
+
+using namespace loopsim;
+using namespace loopsim::opbuild;
+using namespace loopsim::testutil;
+
+namespace
+{
+
+/** RAII guard: restores a clean flag state after each test. */
+struct FlagGuard
+{
+    ~FlagGuard() { debug::clearFlags(); }
+};
+
+} // anonymous namespace
+
+TEST(DebugFlags, SetAndTest)
+{
+    FlagGuard guard;
+    debug::clearFlags();
+    EXPECT_FALSE(debug::anyEnabled());
+    debug::setFlags("Issue,Squash");
+    EXPECT_TRUE(debug::enabled(debug::Flag::Issue));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Squash));
+    EXPECT_FALSE(debug::enabled(debug::Flag::Fetch));
+    EXPECT_TRUE(debug::anyEnabled());
+}
+
+TEST(DebugFlags, AllAndCaseInsensitive)
+{
+    FlagGuard guard;
+    debug::clearFlags();
+    debug::setFlags("all");
+    for (unsigned f = 0;
+         f < static_cast<unsigned>(debug::Flag::NumFlags); ++f) {
+        EXPECT_TRUE(debug::enabled(static_cast<debug::Flag>(f)));
+    }
+    debug::clearFlags();
+    debug::setFlags("iSsUe");
+    EXPECT_TRUE(debug::enabled(debug::Flag::Issue));
+}
+
+TEST(DebugFlags, UnknownFlagFatal)
+{
+    FlagGuard guard;
+    EXPECT_THROW(debug::setFlags("Bogus"), FatalError);
+}
+
+TEST(DebugFlags, NamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned f = 0;
+         f < static_cast<unsigned>(debug::Flag::NumFlags); ++f) {
+        names.insert(debug::flagName(static_cast<debug::Flag>(f)));
+    }
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(debug::Flag::NumFlags));
+}
+
+TEST(Timeline, RecordsRetiredInstructions)
+{
+    Config cfg;
+    cfg.setUint("core.timeline", 16);
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 40; ++i)
+        ops.push_back(alu(static_cast<ArchReg>(i % 20)));
+    auto h = makeHarness(ops, cfg);
+    h.run();
+    ASSERT_NE(h.core->timeline(), nullptr);
+    const auto &entries = h.core->timeline()->entries();
+    // Ring keeps only the newest 16.
+    EXPECT_EQ(entries.size(), 16u);
+    EXPECT_EQ(entries.back().seq, 39u);
+    // Stage ordering invariants on every record.
+    for (const auto &e : entries) {
+        EXPECT_LE(e.fetch, e.rename);
+        EXPECT_LE(e.rename, e.insert);
+        EXPECT_LT(e.insert, e.firstIssue);
+        EXPECT_LE(e.firstIssue, e.lastIssue);
+        EXPECT_LT(e.lastIssue, e.execStart);
+        EXPECT_LE(e.execStart, e.produce);
+        EXPECT_LE(e.produce, e.retire);
+        EXPECT_GE(e.timesIssued, 1u);
+    }
+}
+
+TEST(Timeline, OffByDefault)
+{
+    auto h = makeHarness({alu(1)});
+    h.run();
+    EXPECT_EQ(h.core->timeline(), nullptr);
+}
+
+TEST(Timeline, ReissueShowsInTheRecord)
+{
+    Config cfg;
+    cfg.setUint("core.timeline", 32);
+    std::vector<MicroOp> ops;
+    ops.push_back(alu(1));
+    ops.push_back(store(1, 1, 0x5000000));
+    ops.push_back(alu(1, 1));
+    for (int i = 0; i < 12; ++i)
+        ops.push_back(alu(1, 1));
+    ops.push_back(load(2, 1, 0x5000000 + 256)); // L1 miss
+    ops.push_back(alu(3, 2)); // killed + reissued consumer
+    auto h = makeHarness(ops, cfg);
+    h.run();
+    bool saw_reissue = false;
+    for (const auto &e : h.core->timeline()->entries()) {
+        if (e.timesIssued > 1) {
+            saw_reissue = true;
+            EXPECT_GT(e.lastIssue, e.firstIssue);
+        }
+    }
+    EXPECT_TRUE(saw_reissue);
+}
+
+TEST(Timeline, PrintFormats)
+{
+    Config cfg;
+    cfg.setUint("core.timeline", 8);
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 10; ++i)
+        ops.push_back(alu(static_cast<ArchReg>(i)));
+    auto h = makeHarness(ops, cfg);
+    h.run();
+
+    std::ostringstream gantt;
+    h.core->timeline()->print(gantt);
+    EXPECT_NE(gantt.str().find("cycles"), std::string::npos);
+    EXPECT_NE(gantt.str().find('f'), std::string::npos);
+    EXPECT_NE(gantt.str().find('c'), std::string::npos);
+
+    std::ostringstream table;
+    h.core->timeline()->printTable(table);
+    EXPECT_NE(table.str().find("fetch"), std::string::npos);
+    EXPECT_NE(table.str().find("IntAlu"), std::string::npos);
+}
+
+TEST(Timeline, EmptyPrintIsSafe)
+{
+    TimelineRecorder rec(4);
+    std::ostringstream os;
+    rec.print(os);
+    EXPECT_NE(os.str().find("empty"), std::string::npos);
+    EXPECT_THROW(TimelineRecorder(0), FatalError);
+}

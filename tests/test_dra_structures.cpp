@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the DRA hardware structures: RPFT, insertion tables,
+ * cluster register caches, and the assembled DraUnit protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "dra/crc.hh"
+#include "dra/dra_unit.hh"
+#include "dra/insertion_table.hh"
+#include "dra/rpft.hh"
+
+using namespace loopsim;
+
+TEST(Rpft, SetClearTest)
+{
+    Rpft rpft(16);
+    EXPECT_FALSE(rpft.test(3));
+    rpft.set(3);
+    EXPECT_TRUE(rpft.test(3));
+    EXPECT_EQ(rpft.popcount(), 1u);
+    rpft.clear(3);
+    EXPECT_FALSE(rpft.test(3));
+    rpft.set(1);
+    rpft.set(2);
+    rpft.reset();
+    EXPECT_EQ(rpft.popcount(), 0u);
+    EXPECT_THROW(rpft.test(16), PanicError);
+}
+
+TEST(InsertionTable, CountsAndSaturates)
+{
+    InsertionTable tbl(8, 2);
+    EXPECT_EQ(tbl.maxCount(), 3u);
+    for (int i = 0; i < 5; ++i)
+        tbl.increment(4);
+    EXPECT_EQ(tbl.count(4), 3u);
+    EXPECT_EQ(tbl.saturationDrops(), 2u);
+    tbl.decrement(4);
+    EXPECT_EQ(tbl.count(4), 2u);
+    tbl.clear(4);
+    EXPECT_EQ(tbl.count(4), 0u);
+    tbl.decrement(4); // underflow is clamped
+    EXPECT_EQ(tbl.count(4), 0u);
+}
+
+TEST(InsertionTable, WidthControlsSaturation)
+{
+    InsertionTable narrow(4, 1);
+    InsertionTable wide(4, 3);
+    for (int i = 0; i < 4; ++i) {
+        narrow.increment(0);
+        wide.increment(0);
+    }
+    EXPECT_EQ(narrow.count(0), 1u);
+    EXPECT_EQ(wide.count(0), 4u);
+    EXPECT_EQ(narrow.saturationDrops(), 3u);
+    EXPECT_EQ(wide.saturationDrops(), 0u);
+}
+
+TEST(InsertionTable, BadParamsFatal)
+{
+    EXPECT_THROW(InsertionTable(0, 2), FatalError);
+    EXPECT_THROW(InsertionTable(8, 0), FatalError);
+    EXPECT_THROW(InsertionTable(8, 9), FatalError);
+}
+
+TEST(Crc, LookupAfterInsert)
+{
+    ClusterRegisterCache crc(4, CrcRepl::Fifo);
+    EXPECT_FALSE(crc.lookup(7));
+    crc.insert(7);
+    EXPECT_TRUE(crc.lookup(7));
+    EXPECT_TRUE(crc.lookup(7)); // hits do not consume the entry
+    EXPECT_EQ(crc.hits(), 2u);
+    EXPECT_EQ(crc.misses(), 1u);
+    EXPECT_EQ(crc.occupancy(), 1u);
+}
+
+TEST(Crc, FifoEvictsOldestInsertion)
+{
+    ClusterRegisterCache crc(2, CrcRepl::Fifo);
+    crc.insert(1);
+    crc.insert(2);
+    crc.lookup(1); // reuse must NOT refresh under FIFO
+    crc.insert(3); // evicts 1
+    EXPECT_FALSE(crc.lookup(1));
+    EXPECT_TRUE(crc.lookup(2));
+    EXPECT_TRUE(crc.lookup(3));
+    EXPECT_EQ(crc.evictions(), 1u);
+}
+
+TEST(Crc, LruKeepsRecentlyRead)
+{
+    ClusterRegisterCache crc(2, CrcRepl::Lru);
+    crc.insert(1);
+    crc.insert(2);
+    crc.lookup(1); // refreshes 1
+    crc.insert(3); // evicts 2
+    EXPECT_TRUE(crc.lookup(1));
+    EXPECT_FALSE(crc.lookup(2));
+}
+
+TEST(Crc, ReinsertRefreshesExistingEntry)
+{
+    ClusterRegisterCache crc(2, CrcRepl::Fifo);
+    crc.insert(1);
+    crc.insert(2);
+    crc.insert(1); // refresh, no duplicate / eviction
+    EXPECT_EQ(crc.occupancy(), 2u);
+    EXPECT_EQ(crc.evictions(), 0u);
+    crc.insert(3); // now evicts 2 (oldest stamp)
+    EXPECT_TRUE(crc.lookup(1));
+    EXPECT_FALSE(crc.lookup(2));
+}
+
+TEST(Crc, InvalidateOnReallocation)
+{
+    ClusterRegisterCache crc(4, CrcRepl::Fifo);
+    crc.insert(5);
+    crc.invalidate(5);
+    EXPECT_FALSE(crc.lookup(5));
+    EXPECT_EQ(crc.invalidations(), 1u);
+    crc.invalidate(6); // absent: no-op
+    EXPECT_EQ(crc.invalidations(), 1u);
+}
+
+TEST(Crc, ParseReplAndErrors)
+{
+    EXPECT_EQ(parseCrcRepl("FIFO"), CrcRepl::Fifo);
+    EXPECT_EQ(parseCrcRepl("lru"), CrcRepl::Lru);
+    EXPECT_THROW(parseCrcRepl("rrip"), FatalError);
+    EXPECT_THROW(ClusterRegisterCache(0, CrcRepl::Fifo), FatalError);
+}
+
+namespace
+{
+
+DraUnit
+makeDra()
+{
+    return DraUnit(32, 4, 4, CrcRepl::Fifo, 2);
+}
+
+} // anonymous namespace
+
+TEST(DraUnit, CompletedOperandIsPreRead)
+{
+    DraUnit dra = makeDra();
+    dra.writeback(3); // value sits in the RF
+    EXPECT_TRUE(dra.renameSource(3, 0));
+    EXPECT_EQ(dra.preReads(), 1u);
+    // Pre-read sources never enter the insertion table.
+    EXPECT_EQ(dra.insertionTable(0).count(3), 0u);
+}
+
+TEST(DraUnit, InFlightSourceRegistersInSlottedCluster)
+{
+    DraUnit dra = makeDra();
+    EXPECT_FALSE(dra.renameSource(3, 2));
+    EXPECT_EQ(dra.insertionTable(2).count(3), 1u);
+    EXPECT_EQ(dra.insertionTable(0).count(3), 0u); // other clusters no
+}
+
+TEST(DraUnit, WritebackInsertsOnlyWhereConsumersWait)
+{
+    DraUnit dra = makeDra();
+    dra.renameSource(3, 1);
+    dra.renameSource(3, 1);
+    dra.renameSource(3, 2);
+    dra.writeback(3);
+    EXPECT_TRUE(dra.rpft().test(3));
+    EXPECT_TRUE(dra.lookupCached(3, 1));
+    EXPECT_TRUE(dra.lookupCached(3, 2));
+    EXPECT_FALSE(dra.lookupCached(3, 0));
+    EXPECT_FALSE(dra.lookupCached(3, 3));
+    // Consumer counts were consumed by the insertion.
+    EXPECT_EQ(dra.insertionTable(1).count(3), 0u);
+}
+
+TEST(DraUnit, ForwardingHitsDrainTheCount)
+{
+    // The paper's saturation pathology (§5.4): more consumers than the
+    // counter can express, and the forwarding hits of the early ones
+    // zero the count, so the value never enters the CRC.
+    DraUnit dra = makeDra();
+    for (int i = 0; i < 5; ++i)
+        dra.renameSource(7, 0); // count saturates at 3
+    EXPECT_EQ(dra.insertionTable(0).count(7), 3u);
+    for (int i = 0; i < 3; ++i)
+        dra.forwardHit(7, 0); // first three consumers forward
+    EXPECT_EQ(dra.insertionTable(0).count(7), 0u);
+    dra.writeback(7);
+    // Remaining consumers take an operand miss.
+    EXPECT_FALSE(dra.lookupCached(7, 0));
+}
+
+TEST(DraUnit, RenameDestInvalidatesEverything)
+{
+    DraUnit dra = makeDra();
+    dra.renameSource(9, 0);
+    dra.writeback(9);
+    EXPECT_TRUE(dra.rpft().test(9));
+    EXPECT_TRUE(dra.lookupCached(9, 0));
+
+    dra.renameDest(9); // register reallocated (§5.5)
+    EXPECT_FALSE(dra.rpft().test(9));
+    EXPECT_FALSE(dra.lookupCached(9, 0));
+    EXPECT_EQ(dra.insertionTable(0).count(9), 0u);
+}
+
+TEST(DraUnit, RegFreedCleansUp)
+{
+    DraUnit dra = makeDra();
+    dra.renameSource(9, 1);
+    dra.writeback(9);
+    dra.regFreed(9);
+    EXPECT_FALSE(dra.rpft().test(9));
+    EXPECT_FALSE(dra.lookupCached(9, 1));
+}
+
+TEST(DraUnit, AggregateCounters)
+{
+    DraUnit dra = makeDra();
+    dra.renameSource(1, 0);
+    dra.renameSource(2, 1);
+    dra.writeback(1);
+    dra.writeback(2);
+    EXPECT_EQ(dra.crcInsertions(), 2u);
+    for (int i = 0; i < 6; ++i)
+        dra.renameSource(3, 2);
+    EXPECT_EQ(dra.saturationDrops(), 3u);
+    dra.reset();
+    EXPECT_EQ(dra.crcInsertions(), 0u);
+    EXPECT_EQ(dra.preReads(), 0u);
+}
+
+TEST(DraUnit, ClusterBoundsChecked)
+{
+    DraUnit dra = makeDra();
+    EXPECT_THROW(dra.renameSource(1, 4), PanicError);
+    EXPECT_THROW(dra.lookupCached(1, 9), PanicError);
+    EXPECT_THROW(dra.crc(4), PanicError);
+}

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the memory substrate: caches, TLB, and the hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/tlb.hh"
+#include "sim/config.hh"
+
+using namespace loopsim;
+
+TEST(Cache, GeometryMath)
+{
+    Cache c(64 * 1024, 2, 64);
+    EXPECT_EQ(c.numSets(), 512u);
+    EXPECT_EQ(c.lineBytes(), 64u);
+    EXPECT_EQ(c.associativity(), 2u);
+}
+
+TEST(Cache, MissThenHitSameLine)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13f)); // same 64B line
+    EXPECT_FALSE(c.access(0x140)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(Cache, LruKeepsRecentlyUsed)
+{
+    // 2-way set: A, B fill it; touching A then inserting C must evict B.
+    Cache c(2 * 64 * 4, 2, 64); // 4 sets, 2 ways
+    Addr set_stride = 4 * 64;
+    Addr a = 0x0;
+    Addr b = a + set_stride;
+    Addr d = a + 2 * set_stride;
+    c.access(a);
+    c.access(b);
+    c.access(a);       // refresh A
+    c.access(d);       // evicts B (LRU)
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, FifoIgnoresReuse)
+{
+    Cache c(2 * 64 * 4, 2, 64, ReplPolicy::FIFO);
+    Addr set_stride = 4 * 64;
+    Addr a = 0x0;
+    Addr b = a + set_stride;
+    Addr d = a + 2 * set_stride;
+    c.access(a);
+    c.access(b);
+    c.access(a);       // reuse does NOT refresh under FIFO
+    c.access(d);       // evicts A (oldest insertion)
+    EXPECT_FALSE(c.probe(a));
+    EXPECT_TRUE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, RandomPolicyStillCaches)
+{
+    Cache c(4096, 4, 64, ReplPolicy::Random);
+    c.access(0x40);
+    EXPECT_TRUE(c.access(0x40));
+}
+
+TEST(Cache, ProbeDoesNotAllocateOrCount)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_FALSE(c.probe(0x100)); // still absent
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(1024, 2, 64);
+    c.access(0x100);
+    c.invalidate(0x100);
+    EXPECT_FALSE(c.probe(0x100));
+    c.invalidate(0x9999); // absent invalidate is a no-op
+}
+
+TEST(Cache, WorkingSetFitsAfterWarmup)
+{
+    Cache c(16 * 1024, 4, 64);
+    // Touch a 8KB set twice; second pass must be all hits.
+    for (Addr a = 0; a < 8192; a += 64)
+        c.access(a);
+    std::uint64_t misses_before = c.misses();
+    for (Addr a = 0; a < 8192; a += 64)
+        EXPECT_TRUE(c.access(a));
+    EXPECT_EQ(c.misses(), misses_before);
+}
+
+TEST(Cache, BankSelection)
+{
+    Cache c(64 * 1024, 2, 64, ReplPolicy::LRU, 8);
+    EXPECT_EQ(c.numBanks(), 8u);
+    EXPECT_EQ(c.bank(0x0), 0u);
+    EXPECT_EQ(c.bank(0x40), 1u);
+    EXPECT_EQ(c.bank(0x40 * 8), 0u);
+    EXPECT_EQ(c.bank(0x3f), c.bank(0x0)); // same line, same bank
+}
+
+TEST(Cache, ResetClearsContentAndStats)
+{
+    Cache c(1024, 2, 64);
+    c.access(0x100);
+    c.access(0x100);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.probe(0x100));
+}
+
+TEST(Cache, BadGeometryFatal)
+{
+    EXPECT_THROW(Cache(1000, 2, 64), FatalError); // non-2^n sets
+    EXPECT_THROW(Cache(1024, 0, 64), FatalError);
+    EXPECT_THROW(Cache(1024, 2, 63), FatalError);
+    EXPECT_THROW(Cache(1024, 2, 64, ReplPolicy::LRU, 3), FatalError);
+    EXPECT_THROW(Cache(32, 2, 64), FatalError); // smaller than one set
+}
+
+TEST(Cache, ParseReplPolicy)
+{
+    EXPECT_EQ(parseReplPolicy("LRU"), ReplPolicy::LRU);
+    EXPECT_EQ(parseReplPolicy("fifo"), ReplPolicy::FIFO);
+    EXPECT_EQ(parseReplPolicy("random"), ReplPolicy::Random);
+    EXPECT_THROW(parseReplPolicy("plru"), FatalError);
+}
+
+TEST(Tlb, MissFillsEntry)
+{
+    Tlb tlb(4, 8192);
+    EXPECT_FALSE(tlb.access(0x10000, 0));
+    EXPECT_TRUE(tlb.access(0x10000, 0));
+    EXPECT_TRUE(tlb.access(0x10000 + 8191, 0)); // same page
+    EXPECT_FALSE(tlb.access(0x10000 + 8192, 0)); // next page
+    EXPECT_EQ(tlb.hits(), 2u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(2, 8192);
+    tlb.access(0 * 8192, 0);
+    tlb.access(1 * 8192, 0);
+    tlb.access(0 * 8192, 0); // refresh page 0
+    tlb.access(2 * 8192, 0); // evicts page 1
+    EXPECT_TRUE(tlb.probe(0 * 8192, 0));
+    EXPECT_FALSE(tlb.probe(1 * 8192, 0));
+    EXPECT_TRUE(tlb.probe(2 * 8192, 0));
+}
+
+TEST(Tlb, PerThreadEntries)
+{
+    Tlb tlb(8, 8192);
+    tlb.access(0x4000, 0);
+    EXPECT_FALSE(tlb.probe(0x4000, 1));
+    EXPECT_TRUE(tlb.probe(0x4000, 0));
+}
+
+TEST(Tlb, BadGeometryFatal)
+{
+    EXPECT_THROW(Tlb(0, 8192), FatalError);
+    EXPECT_THROW(Tlb(8, 1000), FatalError);
+}
+
+namespace
+{
+
+Config
+hierarchyConfig()
+{
+    Config cfg;
+    cfg.setUint("mem.l1.size", 4096);
+    cfg.setUint("mem.l1.assoc", 2);
+    cfg.setUint("mem.l1.latency", 3);
+    cfg.setUint("mem.l2.size", 65536);
+    cfg.setUint("mem.l2.latency", 12);
+    cfg.setUint("mem.latency", 150);
+    cfg.setUint("mem.tlb.entries", 4);
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(Hierarchy, LatencyByLevel)
+{
+    Config cfg = hierarchyConfig();
+    MemoryHierarchy mem(cfg);
+
+    // Cold access: misses everywhere.
+    auto r0 = mem.access(0x100, 0, false, 1);
+    EXPECT_EQ(r0.level, MemLevel::Memory);
+    EXPECT_EQ(r0.latency, 3u + 12u + 150u);
+    EXPECT_TRUE(r0.tlbMiss);
+
+    // Now L1 resident.
+    auto r1 = mem.access(0x100, 0, false, 2);
+    EXPECT_EQ(r1.level, MemLevel::L1);
+    EXPECT_EQ(r1.latency, 3u);
+    EXPECT_FALSE(r1.tlbMiss);
+    EXPECT_TRUE(r1.isPredictableHit());
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    Config cfg = hierarchyConfig();
+    MemoryHierarchy mem(cfg);
+    // Fill well beyond L1 (4KB) but within L2 (64KB).
+    for (Addr a = 0; a < 32768; a += 64)
+        mem.access(a, 0, false, a / 64 + 1);
+    // Address 0 was evicted from L1 but lives in L2.
+    auto r = mem.access(0x0, 0, false, 10000);
+    EXPECT_EQ(r.level, MemLevel::L2);
+    EXPECT_EQ(r.latency, 3u + 12u);
+}
+
+TEST(Hierarchy, SameCycleSameBankLoadsConflict)
+{
+    Config cfg = hierarchyConfig();
+    cfg.setUint("mem.l1.banks", 4);
+    MemoryHierarchy mem(cfg);
+    // Warm both lines first.
+    mem.access(0x0, 0, false, 1);
+    mem.access(0x0 + 4 * 64, 0, false, 2);
+
+    auto a = mem.access(0x0, 0, false, 10);
+    auto b = mem.access(0x0 + 4 * 64, 0, false, 10); // same bank
+    EXPECT_FALSE(a.bankConflict);
+    EXPECT_TRUE(b.bankConflict);
+    EXPECT_EQ(b.latency, a.latency + 1);
+    EXPECT_FALSE(b.isPredictableHit());
+
+    // A new cycle clears the arbitration.
+    auto c = mem.access(0x0 + 4 * 64, 0, false, 11);
+    EXPECT_FALSE(c.bankConflict);
+}
+
+TEST(Hierarchy, StoresDoNotContendForLoadBanks)
+{
+    Config cfg = hierarchyConfig();
+    cfg.setUint("mem.l1.banks", 4);
+    MemoryHierarchy mem(cfg);
+    mem.access(0x0, 0, false, 1);
+    mem.access(0x0, 0, true, 5);  // store
+    auto r = mem.access(0x0, 0, false, 5); // same cycle load
+    EXPECT_FALSE(r.bankConflict);
+}
+
+TEST(Hierarchy, DifferentBanksNoConflict)
+{
+    Config cfg = hierarchyConfig();
+    cfg.setUint("mem.l1.banks", 4);
+    MemoryHierarchy mem(cfg);
+    mem.access(0x0, 0, false, 1);
+    mem.access(0x40, 0, false, 1); // adjacent line, different bank
+    EXPECT_EQ(mem.bankConflicts(), 0u);
+}
+
+TEST(Hierarchy, ResetRestoresColdState)
+{
+    Config cfg = hierarchyConfig();
+    MemoryHierarchy mem(cfg);
+    mem.access(0x100, 0, false, 1);
+    mem.reset();
+    auto r = mem.access(0x100, 0, false, 2);
+    EXPECT_EQ(r.level, MemLevel::Memory);
+    EXPECT_EQ(mem.accesses(), 1u);
+}
+
+TEST(Hierarchy, LevelNames)
+{
+    EXPECT_STREQ(memLevelName(MemLevel::L1), "L1");
+    EXPECT_STREQ(memLevelName(MemLevel::L2), "L2");
+    EXPECT_STREQ(memLevelName(MemLevel::Memory), "Memory");
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parameterized calibration checks: for every SPEC95-like profile, the
+ * generated stream's measurable rates must track the profile's
+ * declared parameters. These are the contract between the profiles
+ * (DESIGN.md §1) and the figures built on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace loopsim;
+
+namespace
+{
+
+class ProfileCalibration : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static constexpr std::uint64_t numOps = 60000;
+
+    void
+    SetUp() override
+    {
+        prof = spec95Profile(GetParam());
+        SyntheticTraceGenerator gen(prof, 0, numOps);
+        MicroOp op;
+        while (gen.next(op))
+            ops.push_back(op);
+    }
+
+    BenchmarkProfile prof;
+    std::vector<MicroOp> ops;
+};
+
+} // anonymous namespace
+
+TEST_P(ProfileCalibration, InstructionMixTracksProfile)
+{
+    std::map<OpClass, double> counts;
+    for (const auto &op : ops)
+        counts[op.opClass] += 1.0;
+    double n = static_cast<double>(ops.size());
+    EXPECT_NEAR(counts[OpClass::Load] / n, prof.loadFrac, 0.02);
+    EXPECT_NEAR(counts[OpClass::Store] / n, prof.storeFrac, 0.02);
+    EXPECT_NEAR(counts[OpClass::BranchCond] / n, prof.condBranchFrac,
+                0.02);
+    double fp = (counts[OpClass::FpAdd] + counts[OpClass::FpMult] +
+                 counts[OpClass::FpDiv]) /
+                n;
+    EXPECT_NEAR(fp, prof.fpAddFrac + prof.fpMultFrac + prof.fpDivFrac,
+                0.03);
+}
+
+TEST_P(ProfileCalibration, MispredictRateTracksProfile)
+{
+    int branches = 0;
+    int mispredicts = 0;
+    for (const auto &op : ops) {
+        if (!op.isCondBranch())
+            continue;
+        ++branches;
+        mispredicts += op.forceMispredict ? 1 : 0;
+    }
+    ASSERT_GT(branches, 300);
+    EXPECT_NEAR(double(mispredicts) / branches, prof.mispredictRate,
+                std::max(0.015, prof.mispredictRate * 0.35));
+}
+
+TEST_P(ProfileCalibration, MemoryPatternTracksProfile)
+{
+    std::uint64_t mem = 0;
+    std::uint64_t far = 0;
+    std::uint64_t l2set = 0;
+    for (const auto &op : ops) {
+        if (!op.isLoad() && !op.isStore())
+            continue;
+        ++mem;
+        Addr region = (op.effAddr >> 28) & 0xf;
+        if (region == 0x4)
+            ++far;
+        else if (region == 0x3)
+            ++l2set;
+    }
+    ASSERT_GT(mem, 5000u);
+    EXPECT_NEAR(double(far) / mem, prof.farFrac, 0.01);
+    EXPECT_NEAR(double(l2set) / mem, prof.l2ResidentFrac, 0.02);
+}
+
+TEST_P(ProfileCalibration, BranchTargetsStayInTheCodeLoop)
+{
+    for (const auto &op : ops) {
+        if (!op.isBranch())
+            continue;
+        EXPECT_GE(op.target, 0x1010000000ULL);
+        EXPECT_LT(op.target,
+                  0x1010000000ULL + 4ULL * prof.codeLoopLength);
+    }
+}
+
+TEST_P(ProfileCalibration, TakenRateIsPlausible)
+{
+    // The bimodal site-bias population should land the taken rate in a
+    // wide band around the profile's bias parameter.
+    int branches = 0;
+    int taken = 0;
+    for (const auto &op : ops) {
+        if (!op.isCondBranch())
+            continue;
+        ++branches;
+        taken += op.taken ? 1 : 0;
+    }
+    double rate = double(taken) / branches;
+    EXPECT_GT(rate, 0.15);
+    EXPECT_LT(rate, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProfileCalibration,
+                         ::testing::ValuesIn(spec95Names()),
+                         [](const ::testing::TestParamInfo<std::string>
+                                &info) { return info.param; });

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Silences warn()/inform()/panic() console output for the whole test
+ * binary; the tests assert on exceptions, not on stderr.
+ */
+
+#include "base/logging.hh"
+
+namespace
+{
+
+struct QuietEnv
+{
+    QuietEnv() { loopsim::detail::setQuiet(true); }
+};
+
+QuietEnv quiet_env;
+
+} // anonymous namespace

@@ -1,0 +1,19 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace loopsim;
+
+TEST(Smoke, BaseMachineRunsSwim)
+{
+    RunSpec spec;
+    spec.workload = resolveWorkload("swim");
+    spec.totalOps = 20000;
+    spec.warmupOps = 10000;
+    RunResult r = runOnce(spec);
+    // The warmup boundary lands mid-chunk, so the measured count can
+    // undershoot by up to one sampling chunk.
+    EXPECT_LE(r.retired, 20000u);
+    EXPECT_GT(r.retired, 14000u);
+    EXPECT_GT(r.ipc, 0.1);
+}
