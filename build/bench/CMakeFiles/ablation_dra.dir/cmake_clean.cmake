@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dra.dir/ablation_dra.cpp.o"
+  "CMakeFiles/ablation_dra.dir/ablation_dra.cpp.o.d"
+  "ablation_dra"
+  "ablation_dra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

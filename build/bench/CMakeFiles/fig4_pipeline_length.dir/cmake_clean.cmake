@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pipeline_length.dir/fig4_pipeline_length.cpp.o"
+  "CMakeFiles/fig4_pipeline_length.dir/fig4_pipeline_length.cpp.o.d"
+  "fig4_pipeline_length"
+  "fig4_pipeline_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pipeline_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

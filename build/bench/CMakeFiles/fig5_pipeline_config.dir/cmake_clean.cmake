@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pipeline_config.dir/fig5_pipeline_config.cpp.o"
+  "CMakeFiles/fig5_pipeline_config.dir/fig5_pipeline_config.cpp.o.d"
+  "fig5_pipeline_config"
+  "fig5_pipeline_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pipeline_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

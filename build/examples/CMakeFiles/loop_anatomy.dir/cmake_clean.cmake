@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_anatomy.dir/loop_anatomy.cpp.o"
+  "CMakeFiles/loop_anatomy.dir/loop_anatomy.cpp.o.d"
+  "loop_anatomy"
+  "loop_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

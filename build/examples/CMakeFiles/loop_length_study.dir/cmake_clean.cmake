@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_length_study.dir/loop_length_study.cpp.o"
+  "CMakeFiles/loop_length_study.dir/loop_length_study.cpp.o.d"
+  "loop_length_study"
+  "loop_length_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_length_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

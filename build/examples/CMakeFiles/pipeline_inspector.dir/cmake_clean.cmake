@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_inspector.dir/pipeline_inspector.cpp.o"
+  "CMakeFiles/pipeline_inspector.dir/pipeline_inspector.cpp.o.d"
+  "pipeline_inspector"
+  "pipeline_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/debug.cc" "src/CMakeFiles/loopsim.dir/base/debug.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/base/debug.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/loopsim.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/loopsim.dir/base/random.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/base/random.cc.o.d"
+  "/root/repo/src/base/str.cc" "src/CMakeFiles/loopsim.dir/base/str.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/base/str.cc.o.d"
+  "/root/repo/src/branch/bimodal.cc" "src/CMakeFiles/loopsim.dir/branch/bimodal.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/branch/bimodal.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/loopsim.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/CMakeFiles/loopsim.dir/branch/gshare.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/branch/gshare.cc.o.d"
+  "/root/repo/src/branch/predictor.cc" "src/CMakeFiles/loopsim.dir/branch/predictor.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/branch/predictor.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/CMakeFiles/loopsim.dir/branch/ras.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/branch/ras.cc.o.d"
+  "/root/repo/src/branch/tournament.cc" "src/CMakeFiles/loopsim.dir/branch/tournament.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/branch/tournament.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/loopsim.dir/core/core.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/core.cc.o.d"
+  "/root/repo/src/core/core_backend.cc" "src/CMakeFiles/loopsim.dir/core/core_backend.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/core_backend.cc.o.d"
+  "/root/repo/src/core/core_frontend.cc" "src/CMakeFiles/loopsim.dir/core/core_frontend.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/core_frontend.cc.o.d"
+  "/root/repo/src/core/forwarding_buffer.cc" "src/CMakeFiles/loopsim.dir/core/forwarding_buffer.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/forwarding_buffer.cc.o.d"
+  "/root/repo/src/core/instruction_queue.cc" "src/CMakeFiles/loopsim.dir/core/instruction_queue.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/instruction_queue.cc.o.d"
+  "/root/repo/src/core/machine_config.cc" "src/CMakeFiles/loopsim.dir/core/machine_config.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/machine_config.cc.o.d"
+  "/root/repo/src/core/mem_dep.cc" "src/CMakeFiles/loopsim.dir/core/mem_dep.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/mem_dep.cc.o.d"
+  "/root/repo/src/core/register_file.cc" "src/CMakeFiles/loopsim.dir/core/register_file.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/register_file.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/CMakeFiles/loopsim.dir/core/rename.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/rename.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/CMakeFiles/loopsim.dir/core/timeline.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/core/timeline.cc.o.d"
+  "/root/repo/src/dra/crc.cc" "src/CMakeFiles/loopsim.dir/dra/crc.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/dra/crc.cc.o.d"
+  "/root/repo/src/dra/dra_unit.cc" "src/CMakeFiles/loopsim.dir/dra/dra_unit.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/dra/dra_unit.cc.o.d"
+  "/root/repo/src/dra/insertion_table.cc" "src/CMakeFiles/loopsim.dir/dra/insertion_table.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/dra/insertion_table.cc.o.d"
+  "/root/repo/src/dra/rpft.cc" "src/CMakeFiles/loopsim.dir/dra/rpft.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/dra/rpft.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/loopsim.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/figures.cc" "src/CMakeFiles/loopsim.dir/harness/figures.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/harness/figures.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/loopsim.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/harness/report.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/loopsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/loopsim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/loopsim.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/loopsim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/loopsim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/statistics.cc" "src/CMakeFiles/loopsim.dir/stats/statistics.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/stats/statistics.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/loopsim.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/micro_op.cc" "src/CMakeFiles/loopsim.dir/workload/micro_op.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/workload/micro_op.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/loopsim.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/loopsim.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/workload/trace_file.cc.o.d"
+  "/root/repo/src/workload/workload_set.cc" "src/CMakeFiles/loopsim.dir/workload/workload_set.cc.o" "gcc" "src/CMakeFiles/loopsim.dir/workload/workload_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base_random.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_base_random.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_base_random.cpp.o.d"
+  "/root/repo/tests/test_base_util.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_base_util.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_base_util.cpp.o.d"
+  "/root/repo/tests/test_branch.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_branch.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_branch.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_core_dra.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_core_dra.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_core_dra.cpp.o.d"
+  "/root/repo/tests/test_core_pipeline.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_core_pipeline.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_core_pipeline.cpp.o.d"
+  "/root/repo/tests/test_core_structures.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_core_structures.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_core_structures.cpp.o.d"
+  "/root/repo/tests/test_debug_timeline.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_debug_timeline.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_debug_timeline.cpp.o.d"
+  "/root/repo/tests/test_dra_structures.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_dra_structures.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_dra_structures.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_machine_config.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_machine_config.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_machine_config.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_memory_ordering.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_memory_ordering.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_memory_ordering.cpp.o.d"
+  "/root/repo/tests/test_predictor_mode.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_predictor_mode.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_predictor_mode.cpp.o.d"
+  "/root/repo/tests/test_profile_calibration.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_profile_calibration.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_profile_calibration.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_quiet_env.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_quiet_env.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_quiet_env.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_trace_file.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_trace_file.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_trace_file.cpp.o.d"
+  "/root/repo/tests/test_workload_profile.cpp" "tests/CMakeFiles/loopsim_tests.dir/test_workload_profile.cpp.o" "gcc" "tests/CMakeFiles/loopsim_tests.dir/test_workload_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/loopsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
