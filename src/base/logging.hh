@@ -6,6 +6,12 @@
  * fatal()  - the user asked for something impossible (bad config); exits.
  * warn()   - something questionable happened but simulation continues.
  * inform() - plain status output.
+ *
+ * Both panic() and fatal() are terminal for the process. The third
+ * failure category — *this run* failed (wedged pipeline, exhausted
+ * cycle budget) but the process and every other run in a sweep are
+ * fine — is SimError in src/integrity/sim_error.hh, which the harness
+ * catches, retries and fail-softs. See DESIGN.md §8.
  */
 
 #ifndef LOOPSIM_BASE_LOGGING_HH

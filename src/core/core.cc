@@ -1,9 +1,11 @@
 #include "core/core.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "integrity/fault_injector.hh"
 #include "sim/config.hh"
 
 namespace loopsim
@@ -30,6 +32,9 @@ Core::Core(const Config &config, std::vector<TraceSource *> sources)
         memDep = std::make_unique<MemDepPredictor>(cfg.memDepEntries,
                                                    cfg.memDepClear);
     }
+    FaultPlan fault_plan = FaultPlan::fromConfig(config);
+    if (fault_plan.enable)
+        injector = std::make_unique<FaultInjector>(fault_plan);
     if (cfg.branchMode == BranchMode::Predictor) {
         predictor = makeDirectionPredictor(cfg.predictorKind, config);
         btb = std::make_unique<Btb>(
@@ -437,6 +442,108 @@ Core::checkQuiescent() const
                  "memory-ordering state did not drain: ",
                  t.unexecStoreSeqs.size(), " stores outstanding");
     }
+}
+
+IntegritySample
+Core::integritySample(Cycle now) const
+{
+    IntegritySample s;
+    s.cycle = now;
+    s.retired = retiredOps();
+    s.issued = static_cast<std::uint64_t>(issuedOps->value());
+    s.inFlight = pool.inUse();
+    s.windowCapacity = pool.capacity();
+    s.iqOccupancy = iq.size();
+    s.iqCapacity = cfg.iqEntries;
+    s.renamePipe = renamePipe.size();
+    s.pendingEvents = events.size();
+    for (const ThreadState &t : threads)
+        s.frontendWork += t.fetchBuffer.size() + t.replayQueue.size();
+    s.done = done();
+    return s;
+}
+
+std::vector<std::string>
+Core::structuralViolations() const
+{
+    std::vector<std::string> out;
+    auto violation = [&out](auto &&...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        out.push_back(os.str());
+    };
+
+    // Occupancy bounds.
+    if (iq.size() > cfg.iqEntries) {
+        violation("IQ over capacity: ", iq.size(), "/", cfg.iqEntries);
+    }
+    if (pool.inUse() > pool.capacity()) {
+        violation("in-flight window over capacity: ", pool.inUse(), "/",
+                  pool.capacity());
+    }
+
+    // Forwarding-buffer window arithmetic: a value produced at t must
+    // leave for the RF exactly depth cycles later.
+    if (fwd.writebackCycle(0) != cfg.fwdBufferDepth) {
+        violation("forwarding-buffer depth drift: writeback after ",
+                  fwd.writebackCycle(0), " cycles, configured ",
+                  cfg.fwdBufferDepth);
+    }
+
+    // Per-thread accounting: every pool entry sits in exactly one ROB;
+    // the per-thread IQ/pipe counters reconcile with the structures.
+    std::size_t rob_total = 0, iq_count = 0, pipe_count = 0;
+    std::size_t dests_in_flight = 0;
+    for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+        const ThreadState &t = threads[tid];
+        rob_total += t.rob.size();
+        iq_count += t.iqCount;
+        pipe_count += t.pipeCount;
+
+        // ROB program-order monotonicity: fetch stamps must be
+        // strictly increasing from head to tail.
+        std::uint64_t prev_stamp = 0;
+        for (std::size_t i = 0; i < t.rob.size(); ++i) {
+            const DynInst &inst = pool.get(t.rob.at(i));
+            if (i > 0 && inst.fetchStamp <= prev_stamp) {
+                violation("ROB order violated (thread ", tid,
+                          ", index ", i, "): stamp ", inst.fetchStamp,
+                          " after ", prev_stamp);
+                break;
+            }
+            prev_stamp = inst.fetchStamp;
+        }
+        for (std::size_t i = 0; i < t.rob.size(); ++i) {
+            const DynInst &inst = pool.get(t.rob.at(i));
+            if (inst.op.hasDest())
+                ++dests_in_flight;
+        }
+    }
+    if (rob_total != pool.inUse()) {
+        violation("ROB/pool mismatch: ", rob_total,
+                  " ROB entries vs ", pool.inUse(), " pool entries");
+    }
+    if (iq_count != iq.size()) {
+        violation("IQ accounting mismatch: per-thread counters say ",
+                  iq_count, ", IQ holds ", iq.size());
+    }
+    if (pipe_count != renamePipe.size()) {
+        violation("DEC-IQ pipe accounting mismatch: counters say ",
+                  pipe_count, ", pipe holds ", renamePipe.size());
+    }
+
+    // Register free-list conservation: live registers are exactly the
+    // per-thread architectural state plus one per in-flight producer.
+    std::size_t live = prf.size() - prf.numFree();
+    std::size_t expected =
+        threads.size() * std::size_t(RegLayout::numArchRegs) +
+        dests_in_flight;
+    if (live != expected) {
+        violation("register free-list conservation violated: ", live,
+                  " live, expected ", expected, " (",
+                  dests_in_flight, " in-flight producers)");
+    }
+    return out;
 }
 
 void

@@ -35,6 +35,7 @@
 #include "core/rob.hh"
 #include "core/timeline.hh"
 #include "dra/dra_unit.hh"
+#include "integrity/probe.hh"
 #include "mem/hierarchy.hh"
 #include "sim/simulator.hh"
 #include "stats/statistics.hh"
@@ -44,8 +45,9 @@ namespace loopsim
 {
 
 class Config;
+class FaultInjector;
 
-class Core : public Clocked
+class Core : public Clocked, public IntegrityProbe
 {
   public:
     /**
@@ -88,6 +90,24 @@ class Core : public Clocked
 
     /** Diagnostic dump of pipeline state (stuck-pipeline debugging). */
     void debugDump(std::ostream &os) const;
+
+    /** @name IntegrityProbe (watchdog observation surface) */
+    /// @{
+    IntegritySample integritySample(Cycle now) const override;
+    /**
+     * Structural invariant sweep: ROB program-order monotonicity,
+     * IQ/ROB occupancy accounting, per-thread stage counters,
+     * forwarding-buffer window arithmetic, and physical-register
+     * free-list conservation. O(in-flight); called by the watchdog
+     * behind its debug gate, or directly by tests.
+     */
+    std::vector<std::string> structuralViolations() const override;
+    void dumpState(std::ostream &os) const override { debugDump(os); }
+    std::string probeName() const override { return name(); }
+    /// @}
+
+    /** The fault injector, or nullptr when fault injection is off. */
+    const FaultInjector *faultInjector() const { return injector.get(); }
 
     /**
      * Panic unless the machine has fully drained: no instructions in
@@ -242,6 +262,7 @@ class Core : public Clocked
     std::unique_ptr<Btb> btb;
     std::unique_ptr<MemDepPredictor> memDep;
     std::unique_ptr<TimelineRecorder> timelineRec;
+    std::unique_ptr<FaultInjector> injector;
 
     InstPool pool;
     PhysRegFile prf;

@@ -12,6 +12,7 @@
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "core/core.hh"
+#include "integrity/fault_injector.hh"
 
 namespace loopsim
 {
@@ -137,16 +138,24 @@ Core::issueStage(Cycle now)
 
         // Speculative wakeup of consumers. Loads assume an L1 hit; in
         // Stall mode load consumers wait for the resolved outcome
-        // instead (set in handleLoadExec).
+        // instead (set in handleLoadExec). Fault injection can delay
+        // the wakeup (consumers issue late but converge) or drop it
+        // outright (consumers never wake: a deliberate wedge the
+        // watchdog must catch).
         if (inst.op.hasDest()) {
-            if (inst.op.isLoad()) {
+            bool drop = injector && injector->dropWakeup();
+            Cycle delay = injector ? injector->wakeupDelay() : 0;
+            if (drop) {
+                LTRACE(Issue, now, inst.op.toString()
+                       << " wakeup dropped (fault injection)");
+            } else if (inst.op.isLoad()) {
                 if (cfg.loadRecovery != LoadRecovery::Stall) {
                     prf.setIssueReady(inst.physDest,
-                                      now + mem->l1Latency());
+                                      now + mem->l1Latency() + delay);
                 }
             } else {
                 prf.setIssueReady(inst.physDest,
-                                  now + inst.op.execLatency());
+                                  now + inst.op.execLatency() + delay);
             }
         }
 
@@ -233,6 +242,17 @@ Core::handleLoadExec(DynInst &inst, InstRef ref, Cycle exec_start)
 {
     MemAccessResult res =
         mem->access(inst.op.effAddr, inst.op.tid, false, exec_start);
+    // Fault injection: a stalled cache port or a delayed hit return
+    // makes the data late. Marking the access a bank conflict routes
+    // it through the model's own load-loop mis-speculation recovery,
+    // so the perturbation converges by construction.
+    if (injector) {
+        Cycle extra = injector->loadDelay() + injector->portStall();
+        if (extra > 0) {
+            res.latency += static_cast<unsigned>(extra);
+            res.bankConflict = true;
+        }
+    }
     inst.memResult = res;
     inst.memDone = true;
     loadLevels->add(levelBin(res.level));

@@ -9,6 +9,7 @@
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "core/core.hh"
+#include "integrity/fault_injector.hh"
 
 namespace loopsim
 {
@@ -116,6 +117,12 @@ Core::fetchOne(ThreadState &t, ThreadId tid, Cycle now)
     bool end_group = false;
     if (!op.wrongPath && op.isBranch()) {
         resolvePrediction(op, tid);
+        // Fault injection: a corrupted predictor state flips the
+        // predicted outcome, exercising the branch-loop squash (or,
+        // when flipping a mispredict off, suppressing a recovery the
+        // profile expected).
+        if (injector && injector->corruptBranch())
+            op.forceMispredict = !op.forceMispredict;
         if (op.forceMispredict) {
             t.onWrongPath = true;
             t.wrongPathResume = op.seq + 1;

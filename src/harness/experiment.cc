@@ -1,14 +1,79 @@
 #include "harness/experiment.hh"
 
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <memory>
+#include <sstream>
 
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "core/core.hh"
+#include "core/machine_config.hh"
+#include "integrity/fault_injector.hh"
+#include "integrity/sim_error.hh"
+#include "integrity/watchdog.hh"
 #include "sim/simulator.hh"
 #include "workload/generator.hh"
 
 namespace loopsim
 {
+
+namespace
+{
+
+/** Process-wide overlay installed by setRunOverlay(). */
+Config &
+runOverlay()
+{
+    static Config overlay;
+    return overlay;
+}
+
+/** Parse LOOPSIM_OVERLAY ("a.b=c,d.e=f" or space-separated) once. */
+const Config &
+envOverlay()
+{
+    static const Config cfg = [] {
+        Config c;
+        const char *env = std::getenv("LOOPSIM_OVERLAY");
+        if (!env)
+            return c;
+        for (const std::string &chunk : split(env, ',')) {
+            for (const std::string &assign : split(chunk, ' ')) {
+                if (!assign.empty())
+                    c.parseAssignment(assign);
+            }
+        }
+        return c;
+    }();
+    return cfg;
+}
+
+/** Defaults < spec overrides < env overlay < programmatic overlay. */
+Config
+effectiveConfig(const RunSpec &spec)
+{
+    Config cfg = defaultFigureConfig();
+    cfg.overlay(spec.overrides);
+    cfg.overlay(envOverlay());
+    cfg.overlay(runOverlay());
+    return cfg;
+}
+
+} // anonymous namespace
+
+void
+setRunOverlay(const Config &overlay)
+{
+    runOverlay() = overlay;
+}
+
+void
+clearRunOverlay()
+{
+    runOverlay() = Config{};
+}
 
 double
 RunResult::scalar(const std::string &name) const
@@ -73,41 +138,65 @@ runOnce(const RunSpec &spec)
     fatal_if(spec.workload.threads.empty(), "empty workload");
     fatal_if(spec.totalOps == 0, "zero-length run");
 
-    Config cfg = defaultFigureConfig();
-    cfg.overlay(spec.overrides);
+    Config cfg = effectiveConfig(spec);
 
+    // Distribute the op budget across threads, spreading the division
+    // remainder over the first threads so SMT pairings run exactly the
+    // requested total instead of silently dropping up to n-1 ops.
     std::size_t n_threads = spec.workload.threads.size();
-    std::uint64_t per_thread =
-        (spec.totalOps + spec.warmupOps) / n_threads;
+    std::uint64_t total = spec.totalOps + spec.warmupOps;
+    std::uint64_t per_thread_base = total / n_threads;
+    std::uint64_t remainder = total % n_threads;
     std::uint64_t warmup_total = spec.warmupOps;
 
     std::vector<std::unique_ptr<SyntheticTraceGenerator>> gens;
     std::vector<TraceSource *> sources;
+    std::uint64_t assigned = 0;
     for (std::size_t t = 0; t < n_threads; ++t) {
+        std::uint64_t ops = per_thread_base + (t < remainder ? 1 : 0);
+        assigned += ops;
         gens.push_back(std::make_unique<SyntheticTraceGenerator>(
-            spec.workload.threads[t], static_cast<ThreadId>(t),
-            per_thread));
+            spec.workload.threads[t], static_cast<ThreadId>(t), ops));
         sources.push_back(gens.back().get());
     }
+    panic_if(assigned != total, "op distribution does not reconcile: ",
+             assigned, " assigned of ", total);
 
     Core core(cfg, sources);
     Simulator sim;
     sim.add(&core);
+
+    std::unique_ptr<InvariantWatchdog> watchdog;
+    if (cfg.getBool("integrity.watchdog.enable", true)) {
+        watchdog = std::make_unique<InvariantWatchdog>(
+            core, WatchdogConfig::fromConfig(cfg));
+        sim.add(watchdog.get());
+    }
+
+    auto cycle_limit_error = [&](const char *phase) {
+        std::ostringstream dump;
+        core.debugDump(dump);
+        std::ostringstream msg;
+        msg << spec.workload.label << ": " << phase
+            << " exhausted the cycle budget of " << spec.maxCycles
+            << " (deadlock or starvation?)";
+        return CycleLimitError(phase, spec.maxCycles, msg.str(),
+                               dump.str());
+    };
 
     // Warmup phase: run until the warmup ops retired, then reset the
     // statistics and measure the rest of the trace.
     while (warmup_total > 0 && core.retiredOps() < warmup_total &&
            !core.done()) {
         sim.run(1024);
-        fatal_if(sim.now() > spec.maxCycles,
-                 "warmup hit the cycle limit: ", spec.workload.label);
+        if (sim.now() > spec.maxCycles)
+            throw cycle_limit_error("warmup");
     }
     core.beginMeasurement();
 
     sim.run(spec.maxCycles);
-    fatal_if(sim.hitCycleLimit(),
-             "run hit the cycle limit (deadlock or starvation?): ",
-             spec.workload.label);
+    if (sim.hitCycleLimit())
+        throw cycle_limit_error("measure");
 
     RunResult res;
     res.workloadLabel = figureLabel(spec.workload);
@@ -143,13 +232,68 @@ runOnce(const RunSpec &spec)
         core.statGroup().lookupValue("core.iqOccupancy");
     res.scalars["robOccupancy"] =
         core.statGroup().lookupValue("core.robOccupancy");
+    if (const FaultInjector *fi = core.faultInjector())
+        res.scalars["faultsInjected"] =
+            static_cast<double>(fi->totalInjected());
 
+    return res;
+}
+
+RunResult
+runOnceResilient(const RunSpec &spec, const RetryPolicy &policy)
+{
+    // Per-run configuration can override the caller's policy, so whole
+    // campaigns tune retry behaviour through overlays.
+    Config cfg = effectiveConfig(spec);
+    RetryPolicy pol = policy;
+    pol.attempts = static_cast<unsigned>(
+        cfg.getUint("integrity.retry.attempts", pol.attempts));
+    pol.budgetGrowth =
+        cfg.getDouble("integrity.retry.budget_growth", pol.budgetGrowth);
+    pol.seedStride =
+        cfg.getUint("integrity.retry.seed_stride", pol.seedStride);
+    pol.failSoft = cfg.getBool("integrity.retry.fail_soft", pol.failSoft);
+    fatal_if(pol.attempts == 0, "retry policy with zero attempts");
+
+    RunSpec attempt_spec = spec;
+    std::string last_error;
+    for (unsigned attempt = 0; attempt < pol.attempts; ++attempt) {
+        try {
+            return runOnce(attempt_spec);
+        } catch (const SimError &err) {
+            last_error = err.what();
+            warn("run \"", spec.workload.label, "\" attempt ",
+                 attempt + 1, "/", pol.attempts, " failed (", err.kind(),
+                 "): ", err.what());
+            if (attempt + 1 == pol.attempts) {
+                if (!pol.failSoft)
+                    throw;
+                break;
+            }
+            // Perturb the instruction stream away from the wedge and
+            // widen the cycle budget against plain starvation.
+            for (BenchmarkProfile &t : attempt_spec.workload.threads)
+                t.seed += pol.seedStride;
+            attempt_spec.maxCycles = static_cast<Cycle>(
+                static_cast<double>(attempt_spec.maxCycles) *
+                pol.budgetGrowth);
+        }
+    }
+
+    RunResult res;
+    res.failed = true;
+    res.error = last_error;
+    res.workloadLabel = figureLabel(spec.workload);
+    res.pipeLabel = MachineConfig::fromConfig(cfg).pipeLabel();
+    res.ipc = std::numeric_limits<double>::quiet_NaN();
     return res;
 }
 
 double
 speedup(const RunResult &test, const RunResult &baseline)
 {
+    if (test.failed || baseline.failed)
+        return std::numeric_limits<double>::quiet_NaN();
     fatal_if(baseline.ipc <= 0.0, "baseline run retired nothing");
     return test.ipc / baseline.ipc;
 }

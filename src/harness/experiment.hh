@@ -46,6 +46,12 @@ struct RunResult
     std::uint64_t retired = 0;
     double ipc = 0.0;
 
+    /** Fail-soft marker: the run (and its retries) never finished.
+     *  All measurement fields are meaningless when set. */
+    bool failed = false;
+    /** Diagnostic from the last failed attempt (empty when !failed). */
+    std::string error;
+
     /** Figure 9: fractions of operand reads by location
      *  (preread, forward, crc, regfile, payload, miss). */
     std::vector<double> operandSourceFractions;
@@ -84,10 +90,58 @@ void setPipeline(Config &cfg, unsigned dec_iq, unsigned iq_ex);
 void setDraPipeline(Config &cfg, unsigned regfile_latency);
 void setBasePipeline(Config &cfg, unsigned regfile_latency);
 
-/** Run one simulation; fatal() if it hits the cycle limit. */
+/**
+ * Run one simulation to completion.
+ *
+ * Throws CycleLimitError when the run exhausts spec.maxCycles and
+ * WatchdogError when the integrity watchdog detects a wedge or an
+ * invariant violation (see src/integrity/). fatal() is reserved for
+ * malformed specifications (empty workload, zero ops).
+ *
+ * The effective configuration is, in increasing precedence:
+ * defaultFigureConfig() < spec.overrides < the LOOPSIM_OVERLAY
+ * environment variable (comma/space-separated k=v assignments) < the
+ * process-wide overlay installed with setRunOverlay(). The overlays
+ * exist so whole figure campaigns can be re-run under fault injection
+ * or altered integrity settings without touching driver code.
+ */
 RunResult runOnce(const RunSpec &spec);
 
-/** Relative speedup of @p test over @p baseline (IPC ratio). */
+/** Install / clear the process-wide configuration overlay. */
+void setRunOverlay(const Config &overlay);
+void clearRunOverlay();
+
+/** How runOnceResilient() retries failed runs. */
+struct RetryPolicy
+{
+    /** Total attempts (first try included). */
+    unsigned attempts = 3;
+    /** Cycle-budget growth per retry (backoff against starvation). */
+    double budgetGrowth = 2.0;
+    /** Added to every thread's workload seed per retry, perturbing
+     *  the instruction stream away from the wedge. */
+    std::uint64_t seedStride = 1;
+    /** Return a failed RunResult after the last attempt instead of
+     *  rethrowing the SimError. */
+    bool failSoft = true;
+};
+
+/**
+ * runOnce() with fail-soft retry: on SimError the run is retried with
+ * a perturbed workload seed and a widened cycle budget, up to
+ * policy.attempts tries. The policy defaults can be overridden per
+ * run via integrity.retry.attempts / .budget_growth / .seed_stride /
+ * .fail_soft configuration keys. After the last failure the result is
+ * returned with failed=true (or the error rethrown if !failSoft).
+ */
+RunResult runOnceResilient(const RunSpec &spec,
+                           const RetryPolicy &policy = {});
+
+/**
+ * Relative speedup of @p test over @p baseline (IPC ratio). NaN when
+ * either run is a fail-soft failure; fatal() on a healthy baseline
+ * that retired nothing.
+ */
 double speedup(const RunResult &test, const RunResult &baseline);
 
 } // namespace loopsim

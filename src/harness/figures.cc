@@ -1,5 +1,7 @@
 #include "harness/figures.hh"
 
+#include <limits>
+
 #include "base/logging.hh"
 
 namespace loopsim
@@ -7,6 +9,8 @@ namespace loopsim
 
 namespace
 {
+
+constexpr double failedPoint = std::numeric_limits<double>::quiet_NaN();
 
 std::vector<Workload>
 resolveAll(const std::vector<std::string> &names)
@@ -18,15 +22,45 @@ resolveAll(const std::vector<std::string> &names)
     return out;
 }
 
+/**
+ * Run one figure point fail-soft: retries are handled by
+ * runOnceResilient(); a run that never finishes comes back with
+ * failed=true and is logged into @p fig's failure footer so the rest
+ * of the sweep still completes.
+ */
 RunResult
-runConfig(const Workload &w, const Config &overrides,
+runConfig(FigureData &fig, const Workload &w, const Config &overrides,
           std::uint64_t total_ops)
 {
     RunSpec spec;
     spec.workload = w;
     spec.overrides = overrides;
     spec.totalOps = total_ops;
-    return runOnce(spec);
+    RunResult r = runOnceResilient(spec);
+    if (r.failed) {
+        std::string brief = r.error.substr(0, r.error.find('\n'));
+        fig.failures.push_back(
+            r.workloadLabel + " [" + r.pipeLabel + "]: " + brief);
+    }
+    return r;
+}
+
+/** Operand-source fraction, NaN for a failed run. */
+double
+frac(const RunResult &r, std::size_t i)
+{
+    if (r.failed || i >= r.operandSourceFractions.size())
+        return failedPoint;
+    return r.operandSourceFractions[i];
+}
+
+/** Gap-CDF sample, NaN for a failed run. */
+double
+cdfAt(const RunResult &r, unsigned c)
+{
+    if (r.failed || c >= r.gapCdf.size())
+        return failedPoint;
+    return r.gapCdf[c];
 }
 
 } // anonymous namespace
@@ -50,7 +84,7 @@ figure4(std::uint64_t total_ops)
         for (std::size_t p = 0; p < std::size(points); ++p) {
             Config cfg;
             setPipeline(cfg, points[p].first, points[p].second);
-            RunResult r = runConfig(w, cfg, total_ops);
+            RunResult r = runConfig(fig, w, cfg, total_ops);
             if (p == 0)
                 baseline = r;
             if (fig.columns.size() <= p) {
@@ -83,7 +117,7 @@ figure5(std::uint64_t total_ops)
         for (std::size_t p = 0; p < std::size(points); ++p) {
             Config cfg;
             setPipeline(cfg, points[p].first, points[p].second);
-            RunResult r = runConfig(w, cfg, total_ops);
+            RunResult r = runConfig(fig, w, cfg, total_ops);
             if (p == 0)
                 baseline = r;
             if (fig.columns.size() <= p)
@@ -107,10 +141,10 @@ figure6(std::uint64_t total_ops, const std::vector<std::string> &workloads)
 
     for (const Workload &w : resolveAll(workloads)) {
         Config cfg; // base machine defaults
-        RunResult r = runConfig(w, cfg, total_ops);
+        RunResult r = runConfig(fig, w, cfg, total_ops);
         Series s{figureLabel(w), {}};
         for (unsigned c = 0; c <= 64; ++c)
-            s.values.push_back(r.gapCdf[c]);
+            s.values.push_back(cdfAt(r, c));
         fig.columns.push_back(std::move(s));
     }
     return fig;
@@ -136,8 +170,8 @@ figure8(std::uint64_t total_ops)
             Config dra_cfg;
             setDraPipeline(dra_cfg, rf);
 
-            RunResult base = runConfig(w, base_cfg, total_ops);
-            RunResult dra = runConfig(w, dra_cfg, total_ops);
+            RunResult base = runConfig(fig, w, base_cfg, total_ops);
+            RunResult dra = runConfig(fig, w, dra_cfg, total_ops);
 
             if (fig.columns.size() <= p) {
                 fig.columns.push_back(Series{
@@ -167,13 +201,13 @@ figure9(std::uint64_t total_ops)
         fig.rowLabels.push_back(figureLabel(w));
         Config cfg;
         setDraPipeline(cfg, 5);
-        RunResult r = runConfig(w, cfg, total_ops);
+        RunResult r = runConfig(fig, w, cfg, total_ops);
         // operandSourceFractions order:
         // preread, forward, crc, regfile, payload, miss
-        fig.columns[0].values.push_back(r.operandSourceFractions[0]);
-        fig.columns[1].values.push_back(r.operandSourceFractions[1]);
-        fig.columns[2].values.push_back(r.operandSourceFractions[2]);
-        fig.columns[3].values.push_back(r.operandSourceFractions[5]);
+        fig.columns[0].values.push_back(frac(r, 0));
+        fig.columns[1].values.push_back(frac(r, 1));
+        fig.columns[2].values.push_back(frac(r, 2));
+        fig.columns[3].values.push_back(frac(r, 5));
     }
     return fig;
 }
@@ -198,7 +232,7 @@ ablationCrcSize(std::uint64_t total_ops,
             Config cfg;
             setDraPipeline(cfg, 5);
             cfg.setUint("dra.crc.entries", s);
-            RunResult r = runConfig(w, cfg, total_ops);
+            RunResult r = runConfig(fig, w, cfg, total_ops);
             if (s == 16)
                 ref_run = r;
             runs.push_back(std::move(r));
@@ -231,10 +265,10 @@ ablationCrcRepl(std::uint64_t total_ops,
             Config cfg;
             setDraPipeline(cfg, 5);
             cfg.set("dra.crc.repl", policies[p]);
-            RunResult r = runConfig(w, cfg, total_ops);
+            RunResult r = runConfig(fig, w, cfg, total_ops);
             if (fig.columns.size() <= p)
                 fig.columns.push_back(Series{policies[p], {}});
-            fig.columns[p].values.push_back(r.operandSourceFractions[5]);
+            fig.columns[p].values.push_back(frac(r, 5));
         }
     }
     return fig;
@@ -257,12 +291,12 @@ ablationInsertionBits(std::uint64_t total_ops,
             Config cfg;
             setDraPipeline(cfg, 5);
             cfg.setUint("dra.insertion_bits", widths[p]);
-            RunResult r = runConfig(w, cfg, total_ops);
+            RunResult r = runConfig(fig, w, cfg, total_ops);
             if (fig.columns.size() <= p) {
                 fig.columns.push_back(
                     Series{std::to_string(widths[p]) + " bits", {}});
             }
-            fig.columns[p].values.push_back(r.operandSourceFractions[5]);
+            fig.columns[p].values.push_back(frac(r, 5));
         }
     }
     return fig;
@@ -286,7 +320,7 @@ ablationLoadRecovery(std::uint64_t total_ops,
         for (std::size_t p = 0; p < std::size(modes); ++p) {
             Config cfg;
             cfg.set("core.load_recovery", modes[p]);
-            RunResult r = runConfig(w, cfg, total_ops);
+            RunResult r = runConfig(fig, w, cfg, total_ops);
             if (p == 0)
                 ref_run = r;
             if (fig.columns.size() <= p)
@@ -312,17 +346,17 @@ ablationKillShadow(std::uint64_t total_ops,
 
         Config tree_cfg;
         tree_cfg.setBool("core.kill_all_in_shadow", false);
-        RunResult tree = runConfig(w, tree_cfg, total_ops);
+        RunResult tree = runConfig(fig, w, tree_cfg, total_ops);
 
         Config shadow_cfg;
         shadow_cfg.setBool("core.kill_all_in_shadow", true);
-        RunResult shadow = runConfig(w, shadow_cfg, total_ops);
+        RunResult shadow = runConfig(fig, w, shadow_cfg, total_ops);
 
         if (fig.columns.empty()) {
             fig.columns.push_back(Series{"dep-tree", {}});
             fig.columns.push_back(Series{"kill-shadow", {}});
         }
-        fig.columns[0].values.push_back(1.0);
+        fig.columns[0].values.push_back(tree.failed ? failedPoint : 1.0);
         fig.columns[1].values.push_back(speedup(shadow, tree));
     }
     return fig;
@@ -345,12 +379,12 @@ ablationFwdDepth(std::uint64_t total_ops,
             Config cfg;
             setDraPipeline(cfg, 5);
             cfg.setUint("core.fwd_depth", depths[p]);
-            RunResult r = runConfig(w, cfg, total_ops);
+            RunResult r = runConfig(fig, w, cfg, total_ops);
             if (fig.columns.size() <= p) {
                 fig.columns.push_back(
                     Series{std::to_string(depths[p]) + " cyc", {}});
             }
-            fig.columns[p].values.push_back(r.operandSourceFractions[1]);
+            fig.columns[p].values.push_back(frac(r, 1));
         }
     }
     return fig;
@@ -371,22 +405,23 @@ ablationMemDep(std::uint64_t total_ops,
 
         Config on_cfg;
         on_cfg.setBool("core.memdep.enable", true);
-        RunResult on = runConfig(w, on_cfg, total_ops);
+        RunResult on = runConfig(fig, w, on_cfg, total_ops);
 
         Config off_cfg;
         off_cfg.setBool("core.memdep.enable", false);
-        RunResult off = runConfig(w, off_cfg, total_ops);
+        RunResult off = runConfig(fig, w, off_cfg, total_ops);
 
         if (fig.columns.empty()) {
             fig.columns.push_back(Series{"ordering on", {}});
             fig.columns.push_back(Series{"ordering off", {}});
             fig.columns.push_back(Series{"traps/op", {}});
         }
-        fig.columns[0].values.push_back(1.0);
+        fig.columns[0].values.push_back(on.failed ? failedPoint : 1.0);
         fig.columns[1].values.push_back(speedup(off, on));
         fig.columns[2].values.push_back(
-            on.scalar("memOrderTraps") /
-            static_cast<double>(on.retired));
+            on.failed ? failedPoint
+                      : on.scalar("memOrderTraps") /
+                            static_cast<double>(on.retired));
     }
     return fig;
 }
@@ -408,13 +443,39 @@ ablationCrcTimeout(std::uint64_t total_ops,
             Config cfg;
             setDraPipeline(cfg, 5);
             cfg.setUint("dra.crc.timeout", timeouts[p]);
-            RunResult r = runConfig(w, cfg, total_ops);
+            RunResult r = runConfig(fig, w, cfg, total_ops);
             if (fig.columns.size() <= p) {
                 std::string label = timeouts[p] == 0
                     ? "invalidate" : std::to_string(timeouts[p]) + " cyc";
                 fig.columns.push_back(Series{label, {}});
             }
-            fig.columns[p].values.push_back(r.operandSourceFractions[5]);
+            fig.columns[p].values.push_back(frac(r, 5));
+        }
+    }
+    return fig;
+}
+
+FigureData
+sweepConfigs(const std::string &title,
+             const std::vector<std::string> &workloads,
+             const std::vector<std::pair<std::string, Config>> &configs,
+             std::uint64_t total_ops)
+{
+    fatal_if(configs.empty(), "sweepConfigs needs at least one config");
+
+    FigureData fig;
+    fig.title = title;
+    fig.valueUnit = "IPC";
+    for (const auto &[label, cfg] : configs)
+        fig.columns.push_back(Series{label, {}});
+
+    for (const Workload &w : resolveAll(workloads)) {
+        fig.rowLabels.push_back(figureLabel(w));
+        for (std::size_t p = 0; p < configs.size(); ++p) {
+            RunResult r =
+                runConfig(fig, w, configs[p].second, total_ops);
+            fig.columns[p].values.push_back(
+                r.failed ? failedPoint : r.ipc);
         }
     }
     return fig;

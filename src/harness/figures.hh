@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.hh"
@@ -31,6 +32,12 @@ struct FigureData
     std::string valueUnit; ///< "speedup" / "fraction" / ...
     std::vector<std::string> rowLabels;
     std::vector<Series> columns;
+    /**
+     * Fail-soft bookkeeping: one line per run that never finished
+     * (after retries). The corresponding values are NaN; the report
+     * renders them as "fail" and prints these lines as a footer.
+     */
+    std::vector<std::string> failures;
 };
 
 /**
@@ -93,6 +100,18 @@ FigureData ablationMemDep(std::uint64_t total_ops,
 FigureData ablationCrcTimeout(std::uint64_t total_ops,
                               const std::vector<std::string> &workloads);
 /// @}
+
+/**
+ * Generic sweep: one row per workload, one labelled configuration per
+ * column, raw IPC as the value. Runs fail-soft: a configuration that
+ * cannot finish (even after retries) yields a NaN point and an entry
+ * in FigureData::failures instead of aborting the sweep.
+ */
+FigureData sweepConfigs(
+    const std::string &title,
+    const std::vector<std::string> &workloads,
+    const std::vector<std::pair<std::string, Config>> &configs,
+    std::uint64_t total_ops);
 
 } // namespace loopsim
 

@@ -1,6 +1,7 @@
 #include "harness/report.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "base/str.hh"
 
@@ -32,13 +33,23 @@ printFigure(std::ostream &os, const FigureData &fig, ValueFormat format)
         for (const auto &c : fig.columns) {
             std::string cell = "-";
             if (row < c.values.size()) {
-                cell = format == ValueFormat::Percent
-                           ? formatPercent(c.values[row], 1)
-                           : formatDouble(c.values[row], 3);
+                // Fail-soft runs leave NaN points; render them
+                // distinctly instead of printing "nan".
+                if (!std::isfinite(c.values[row]))
+                    cell = "fail";
+                else if (format == ValueFormat::Percent)
+                    cell = formatPercent(c.values[row], 1);
+                else
+                    cell = formatDouble(c.values[row], 3);
             }
             os << padLeft(cell, col_w);
         }
         os << "\n";
+    }
+    if (!fig.failures.empty()) {
+        os << "failed points (after retries):\n";
+        for (const auto &f : fig.failures)
+            os << "  " << f << "\n";
     }
     os << "\n";
 }
@@ -54,7 +65,8 @@ printCsv(std::ostream &os, const FigureData &fig)
         os << fig.rowLabels[row];
         for (const auto &c : fig.columns) {
             os << ",";
-            if (row < c.values.size())
+            // Failed (NaN) points become empty CSV cells.
+            if (row < c.values.size() && std::isfinite(c.values[row]))
                 os << formatDouble(c.values[row], 6);
         }
         os << "\n";

@@ -1,0 +1,142 @@
+#include "integrity/fault_injector.hh"
+
+#include <numeric>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "sim/config.hh"
+
+namespace loopsim
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::WakeupDrop: return "wakeup-drop";
+      case FaultKind::WakeupDelay: return "wakeup-delay";
+      case FaultKind::LoadDelay: return "load-delay";
+      case FaultKind::BranchCorrupt: return "branch-corrupt";
+      case FaultKind::PortStall: return "port-stall";
+      default: panic("unknown fault kind");
+    }
+}
+
+namespace
+{
+
+double
+rate(const Config &cfg, const std::string &key)
+{
+    double r = cfg.getDouble(key, 0.0);
+    fatal_if(r < 0.0 || r > 1.0, key, " must be in [0, 1], got ", r);
+    return r;
+}
+
+} // anonymous namespace
+
+FaultPlan
+FaultPlan::fromConfig(const Config &cfg)
+{
+    FaultPlan p;
+    p.enable = cfg.getBool("integrity.fault.enable", false);
+    p.seed = cfg.getUint("integrity.fault.seed", p.seed);
+    p.wakeupDropRate = rate(cfg, "integrity.fault.wakeup_drop");
+    p.wakeupDelayRate = rate(cfg, "integrity.fault.wakeup_delay");
+    p.wakeupDelayCycles = cfg.getUint("integrity.fault.wakeup_delay_cycles",
+                                      p.wakeupDelayCycles);
+    p.loadDelayRate = rate(cfg, "integrity.fault.load_delay");
+    p.loadDelayCycles =
+        cfg.getUint("integrity.fault.load_delay_cycles", p.loadDelayCycles);
+    p.branchCorruptRate = rate(cfg, "integrity.fault.branch_corrupt");
+    p.portStallRate = rate(cfg, "integrity.fault.port_stall");
+    p.portStallCycles =
+        cfg.getUint("integrity.fault.port_stall_cycles", p.portStallCycles);
+    return p;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : cfg(plan),
+      // One PCG stream per fault kind: a draw for one kind never
+      // perturbs the sequence of another, so enabling an extra fault
+      // does not re-randomise the rest of the campaign.
+      streams{Pcg32(plan.seed, 0x100), Pcg32(plan.seed, 0x101),
+              Pcg32(plan.seed, 0x102), Pcg32(plan.seed, 0x103),
+              Pcg32(plan.seed, 0x104)}
+{}
+
+bool
+FaultInjector::draw(FaultKind kind, double p)
+{
+    if (p <= 0.0)
+        return false;
+    auto i = static_cast<std::size_t>(kind);
+    if (!streams[i].chance(p))
+        return false;
+    ++counts[i];
+    return true;
+}
+
+bool
+FaultInjector::dropWakeup()
+{
+    return draw(FaultKind::WakeupDrop, cfg.wakeupDropRate);
+}
+
+Cycle
+FaultInjector::wakeupDelay()
+{
+    return draw(FaultKind::WakeupDelay, cfg.wakeupDelayRate)
+               ? cfg.wakeupDelayCycles
+               : 0;
+}
+
+Cycle
+FaultInjector::loadDelay()
+{
+    return draw(FaultKind::LoadDelay, cfg.loadDelayRate)
+               ? cfg.loadDelayCycles
+               : 0;
+}
+
+bool
+FaultInjector::corruptBranch()
+{
+    return draw(FaultKind::BranchCorrupt, cfg.branchCorruptRate);
+}
+
+Cycle
+FaultInjector::portStall()
+{
+    return draw(FaultKind::PortStall, cfg.portStallRate)
+               ? cfg.portStallCycles
+               : 0;
+}
+
+std::uint64_t
+FaultInjector::injected(FaultKind kind) const
+{
+    return counts[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    return std::accumulate(counts.begin(), counts.end(),
+                           std::uint64_t{0});
+}
+
+std::string
+FaultInjector::summary() const
+{
+    std::ostringstream os;
+    os << "faults injected (seed " << cfg.seed << "):";
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(FaultKind::NumKinds); ++k) {
+        os << " " << faultKindName(static_cast<FaultKind>(k)) << "="
+           << counts[k];
+    }
+    return os.str();
+}
+
+} // namespace loopsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic fault injection for recovery-path stress testing.
+ *
+ * The paper's machinery is mostly *recovery* — squash, reissue and
+ * replay after branch, load and DRA operand loop mis-speculations — so
+ * the injector perturbs exactly those feedback paths: speculative
+ * wakeups are delayed or dropped, load-hit data arrives late (forcing
+ * the load-loop kill/reissue), predicted branch outcomes are flipped
+ * (forcing the branch-loop squash), and cache ports stall. All draws
+ * come from per-kind PCG streams seeded from the configuration, so a
+ * faulted run is exactly reproducible from its seed.
+ *
+ * Every kind except WakeupDrop converges by construction: the
+ * perturbation is expressed through the model's own retiming/recovery
+ * machinery. WakeupDrop deliberately loses the wakeup forever — it
+ * exists to wedge the machine on purpose and prove the watchdog
+ * detects and reports the stall.
+ */
+
+#ifndef LOOPSIM_INTEGRITY_FAULT_INJECTOR_HH
+#define LOOPSIM_INTEGRITY_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace loopsim
+{
+
+class Config;
+
+enum class FaultKind : unsigned
+{
+    WakeupDrop,    ///< speculative wakeup lost forever (wedges!)
+    WakeupDelay,   ///< speculative wakeup arrives late
+    LoadDelay,     ///< load-hit data arrives late (reissue recovery)
+    BranchCorrupt, ///< predicted outcome flipped (squash recovery)
+    PortStall,     ///< cache port busy: extra access latency
+    NumKinds
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** Rates and magnitudes; read from "integrity.fault.*" keys. */
+struct FaultPlan
+{
+    bool enable = false;
+    std::uint64_t seed = 1;
+    double wakeupDropRate = 0.0;
+    double wakeupDelayRate = 0.0;
+    Cycle wakeupDelayCycles = 8;
+    double loadDelayRate = 0.0;
+    Cycle loadDelayCycles = 12;
+    double branchCorruptRate = 0.0;
+    double portStallRate = 0.0;
+    Cycle portStallCycles = 4;
+
+    /**
+     * integrity.fault.enable, .seed, .wakeup_drop, .wakeup_delay /
+     * .wakeup_delay_cycles, .load_delay / .load_delay_cycles,
+     * .branch_corrupt, .port_stall / .port_stall_cycles.
+     */
+    static FaultPlan fromConfig(const Config &cfg);
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /** @name Per-site draws (called from the Core's hot paths) */
+    /// @{
+    /** Lose this speculative wakeup forever. */
+    bool dropWakeup();
+    /** Extra cycles before the speculative wakeup lands (0 = none). */
+    Cycle wakeupDelay();
+    /** Extra latency on a load's data return (0 = none). */
+    Cycle loadDelay();
+    /** Flip this branch's predicted outcome. */
+    bool corruptBranch();
+    /** Cycles the cache port is stalled for this access (0 = none). */
+    Cycle portStall();
+    /// @}
+
+    std::uint64_t injected(FaultKind kind) const;
+    std::uint64_t totalInjected() const;
+    const FaultPlan &plan() const { return cfg; }
+    std::string summary() const;
+
+  private:
+    /** Bernoulli draw on @p kind's private stream; counts hits. */
+    bool draw(FaultKind kind, double rate);
+
+    FaultPlan cfg;
+    std::array<Pcg32, static_cast<std::size_t>(FaultKind::NumKinds)>
+        streams;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(FaultKind::NumKinds)>
+        counts{};
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_INTEGRITY_FAULT_INJECTOR_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Recoverable simulation errors.
+ *
+ * The logging taxonomy (base/logging.hh) distinguishes panic() — a
+ * simulator bug — from fatal() — an impossible user request. Both are
+ * terminal. SimError is the third category: *this run* failed (wedged
+ * pipeline, exhausted cycle budget, tripped watchdog), but the process
+ * and every other run in a sweep are fine. The harness catches
+ * SimError, retries with a perturbed seed and widened budget, and
+ * fail-softs the point into the figure report instead of aborting the
+ * whole regeneration.
+ */
+
+#ifndef LOOPSIM_INTEGRITY_SIM_ERROR_HH
+#define LOOPSIM_INTEGRITY_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "base/types.hh"
+
+namespace loopsim
+{
+
+/** A single simulation run failed; the process can continue. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(std::string kind, const std::string &msg)
+        : std::runtime_error(msg), errorKind(std::move(kind))
+    {}
+
+    /** Machine-readable category ("cycle-limit", "watchdog", ...). */
+    const std::string &kind() const { return errorKind; }
+
+  private:
+    std::string errorKind;
+};
+
+/** The run exhausted its cycle budget without draining. */
+class CycleLimitError : public SimError
+{
+  public:
+    CycleLimitError(std::string run_phase, Cycle limit,
+                    const std::string &msg, std::string state_dump)
+        : SimError("cycle-limit", msg), phaseName(std::move(run_phase)),
+          cycleLimit(limit), dump(std::move(state_dump))
+    {}
+
+    /** "warmup" or "measure". */
+    const std::string &phase() const { return phaseName; }
+    Cycle limit() const { return cycleLimit; }
+    /** Pipeline state at the moment the budget ran out. */
+    const std::string &stateDump() const { return dump; }
+
+  private:
+    std::string phaseName;
+    Cycle cycleLimit;
+    std::string dump;
+};
+
+} // namespace loopsim
+
+#endif // LOOPSIM_INTEGRITY_SIM_ERROR_HH
