@@ -12,6 +12,7 @@ int
 main(int argc, char **argv)
 {
     auto ops = benchutil::benchOps(argc, argv, 100000);
+    benchutil::CampaignRecorder record("ablation_dra", ops, argc, argv);
     auto w = benchutil::ablationWorkloads();
     printFigure(std::cout, ablationCrcSize(ops, w));
     printFigure(std::cout, ablationCrcRepl(ops, w), ValueFormat::Percent);

@@ -12,6 +12,8 @@ int
 main(int argc, char **argv)
 {
     auto ops = benchutil::benchOps(argc, argv, 100000);
+    benchutil::CampaignRecorder record("ablation_recovery", ops,
+                                       argc, argv);
     auto w = benchutil::ablationWorkloads();
     printFigure(std::cout, ablationLoadRecovery(ops, w));
     printFigure(std::cout, ablationKillShadow(ops, w));

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "harness/campaign.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "harness/report.hh"
@@ -14,6 +15,7 @@ int
 main(int argc, char **argv)
 {
     auto ops = benchutil::benchOps(argc, argv, 100000);
+    benchutil::CampaignRecorder record("ablation_smt", ops, argc, argv);
 
     FigureData fig;
     fig.title = "Ablation: SMT fetch policy (pair throughput, ICOUNT "
@@ -22,22 +24,29 @@ main(int argc, char **argv)
     fig.columns.push_back(Series{"roundrobin", {}});
     fig.columns.push_back(Series{"icount", {}});
 
-    for (const char *pair : {"m88-comp", "go-su2cor", "apsi-swim",
-                             "swim-swim", "gcc-gcc"}) {
-        fig.rowLabels.push_back(pair);
+    const std::vector<const char *> pairs = {
+        "m88-comp", "go-su2cor", "apsi-swim", "swim-swim", "gcc-gcc"};
 
-        RunSpec rr;
-        rr.workload = resolveWorkload(pair);
-        rr.totalOps = ops;
-        rr.overrides.set("core.fetch_policy", "rr");
-        RunResult rr_res = runOnce(rr);
+    // Enumerate both fetch policies per pairing into one plan so the
+    // whole ablation runs on the campaign pool; results land by plan
+    // index, so the figure is identical at any --jobs value.
+    CampaignPlan plan;
+    for (const char *pair : pairs) {
+        for (const char *policy : {"rr", "icount"}) {
+            RunSpec spec;
+            spec.workload = resolveWorkload(pair);
+            spec.totalOps = ops;
+            spec.overrides.set("core.fetch_policy", policy);
+            plan.add(std::move(spec),
+                     std::string(pair) + "/" + policy);
+        }
+    }
 
-        RunSpec ic;
-        ic.workload = resolveWorkload(pair);
-        ic.totalOps = ops;
-        ic.overrides.set("core.fetch_policy", "icount");
-        RunResult ic_res = runOnce(ic);
-
+    std::vector<RunResult> results = runPlan(fig, plan);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        fig.rowLabels.push_back(pairs[i]);
+        const RunResult &rr_res = results[i * 2];
+        const RunResult &ic_res = results[i * 2 + 1];
         fig.columns[0].values.push_back(1.0);
         fig.columns[1].values.push_back(speedup(ic_res, rr_res));
     }

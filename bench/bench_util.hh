@@ -1,32 +1,114 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction bench binaries.
+ *
+ * Common CLI surface: `<bench> [OPS] [--jobs N] [--csv]` in any
+ * argument order, plus the LOOPSIM_BENCH_OPS and LOOPSIM_JOBS
+ * environment variables. Every binary records campaign telemetry
+ * (wall clock, runs/sec) into BENCH_campaign.json on exit.
  */
 
 #ifndef LOOPSIM_BENCH_BENCH_UTIL_HH
 #define LOOPSIM_BENCH_BENCH_UTIL_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <chrono>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "harness/campaign.hh"
 
 namespace loopsim::benchutil
 {
 
+namespace detail
+{
+
+/** Parse a non-negative integer; exits with a diagnostic otherwise. */
+inline std::uint64_t
+parseCount(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (text.empty() || end == text.c_str() || *end != '\0' ||
+        text[0] == '-') {
+        std::fprintf(stderr, "invalid %s: \"%s\" (expected a "
+                     "non-negative integer)\n", what, text.c_str());
+        std::exit(2);
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+/** True for flags that consume the following argument. */
+inline bool
+flagTakesValue(const std::string &flag)
+{
+    return flag == "--jobs" || flag == "-j";
+}
+
+} // namespace detail
+
 /**
- * Correct-path ops per run. Default 200k balances statistical noise
- * against wall-clock time; override with LOOPSIM_BENCH_OPS (or argv[1])
- * for a higher-fidelity pass.
+ * Correct-path ops per run: the first non-flag argument wherever it
+ * sits on the command line (flags like --csv / --jobs N / --jobs=N are
+ * skipped, never misread as a count), else LOOPSIM_BENCH_OPS, else
+ * @p def. A non-numeric or zero count is rejected with exit code 2
+ * instead of silently becoming 0 ops.
  */
 inline std::uint64_t
 benchOps(int argc, char **argv, std::uint64_t def = 200000)
 {
-    if (argc > 1 && std::string(argv[1]) != "--csv")
-        return std::strtoull(argv[1], nullptr, 0);
-    if (const char *env = std::getenv("LOOPSIM_BENCH_OPS"))
-        return std::strtoull(env, nullptr, 0);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (!a.empty() && a[0] == '-') {
+            if (detail::flagTakesValue(a))
+                ++i; // skip the flag's value too
+            continue;
+        }
+        std::uint64_t ops = detail::parseCount(a, "op count");
+        if (ops == 0) {
+            std::fprintf(stderr, "op count must be positive\n");
+            std::exit(2);
+        }
+        return ops;
+    }
+    if (const char *env = std::getenv("LOOPSIM_BENCH_OPS")) {
+        std::uint64_t ops = detail::parseCount(env, "LOOPSIM_BENCH_OPS");
+        if (ops > 0)
+            return ops;
+    }
     return def;
+}
+
+/**
+ * Worker count from `--jobs N`, `--jobs=N` or `-j N`; 0 (automatic:
+ * LOOPSIM_JOBS, then hardware_concurrency) when absent.
+ */
+inline unsigned
+benchJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::string value;
+        if (a.rfind("--jobs=", 0) == 0) {
+            value = a.substr(7);
+        } else if (detail::flagTakesValue(a)) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(2);
+            }
+            value = argv[++i];
+        } else {
+            continue;
+        }
+        return static_cast<unsigned>(
+            detail::parseCount(value, "job count"));
+    }
+    return 0;
 }
 
 /** True when the user asked for CSV output (--csv anywhere in argv). */
@@ -46,6 +128,84 @@ ablationWorkloads()
 {
     return {"gcc", "swim", "turb3d", "apsi"};
 }
+
+/**
+ * Records one bench invocation's campaign telemetry into
+ * BENCH_campaign.json (override the path with LOOPSIM_BENCH_JSON).
+ * Construct it at the top of main(); the destructor appends a JSON
+ * entry with the cumulative campaign wall clock and runs/sec, so the
+ * perf trajectory of the figure suite is recorded run over run. The
+ * constructor also installs the --jobs worker count.
+ */
+class CampaignRecorder
+{
+  public:
+    CampaignRecorder(std::string bench_name, std::uint64_t ops,
+                     int argc, char **argv)
+        : name(std::move(bench_name)), totalOps(ops),
+          start(std::chrono::steady_clock::now())
+    {
+        setCampaignJobs(benchJobs(argc, argv));
+    }
+
+    ~CampaignRecorder()
+    {
+        std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        CampaignTelemetry t = campaignTotals();
+        std::ostringstream entry;
+        entry << "  {\"bench\": \"" << name << "\""
+              << ", \"ops\": " << totalOps
+              << ", \"jobs\": " << t.jobs
+              << ", \"runs\": " << t.runs
+              << ", \"failures\": " << t.failures
+              << ", \"campaign_wall_s\": " << t.wallSeconds
+              << ", \"runs_per_s\": " << t.runsPerSecond()
+              << ", \"process_wall_s\": " << wall.count() << "}";
+        append(entry.str());
+    }
+
+    CampaignRecorder(const CampaignRecorder &) = delete;
+    CampaignRecorder &operator=(const CampaignRecorder &) = delete;
+
+  private:
+    /** Append @p entry to the JSON array, creating the file if absent.
+     *  The file is rewritten whole: read, splice before the closing
+     *  bracket, write back. Bench binaries run one at a time. */
+    void
+    append(const std::string &entry) const
+    {
+        const char *env = std::getenv("LOOPSIM_BENCH_JSON");
+        std::string path = env && *env ? env : "BENCH_campaign.json";
+
+        std::string body;
+        {
+            std::ifstream in(path);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            body = buf.str();
+        }
+        std::size_t close = body.rfind(']');
+        std::string out;
+        if (close == std::string::npos) {
+            out = "[\n" + entry + "\n]\n";
+        } else {
+            std::string head = body.substr(0, close);
+            while (!head.empty() &&
+                   (head.back() == '\n' || head.back() == ' ')) {
+                head.pop_back();
+            }
+            bool first = head.find('{') == std::string::npos;
+            out = head + (first ? "\n" : ",\n") + entry + "\n]\n";
+        }
+        std::ofstream of(path, std::ios::trunc);
+        of << out;
+    }
+
+    std::string name;
+    std::uint64_t totalOps;
+    std::chrono::steady_clock::time_point start;
+};
 
 } // namespace loopsim::benchutil
 

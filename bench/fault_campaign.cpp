@@ -31,6 +31,7 @@ int
 main(int argc, char **argv)
 {
     auto ops = benchutil::benchOps(argc, argv, 100000);
+    benchutil::CampaignRecorder record("fault_campaign", ops, argc, argv);
     auto w = benchutil::ablationWorkloads();
 
     Config wedge = faulted("integrity.fault.wakeup_drop", 1.0);

@@ -11,6 +11,8 @@ int
 main(int argc, char **argv)
 {
     auto ops = benchutil::benchOps(argc, argv);
+    benchutil::CampaignRecorder record("fig6_operand_gap_cdf", ops,
+                                       argc, argv);
     // The paper plots turb3d and notes other benchmarks look similar;
     // print a second benchmark to substantiate that claim.
     FigureData fig = figure6(ops, {"turb3d", "swim"});

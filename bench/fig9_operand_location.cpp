@@ -11,6 +11,8 @@ int
 main(int argc, char **argv)
 {
     auto ops = benchutil::benchOps(argc, argv);
+    benchutil::CampaignRecorder record("fig9_operand_location", ops,
+                                       argc, argv);
     FigureData fig = figure9(ops);
     if (benchutil::wantCsv(argc, argv))
         printCsv(std::cout, fig);

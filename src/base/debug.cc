@@ -1,7 +1,9 @@
 #include "base/debug.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 #include "base/logging.hh"
 #include "base/str.hh"
@@ -12,16 +14,20 @@ namespace loopsim::debug
 namespace
 {
 
-unsigned flagMask = [] {
-    const char *env = std::getenv("LOOPSIM_DEBUG");
-    if (!env)
-        return 0u;
-    // Deferred: setFlags needs the name table below, so parse lazily
-    // through a helper that runs after static init of this TU.
-    return ~0u; // sentinel: replaced by the first enabled() call
-}();
+// Campaign workers query these every traced cycle; the mask is an
+// atomic read on the fast path and all mutation (env parse, explicit
+// setFlags/clearFlags) serialises on one mutex. The flag set is
+// install-then-read: installers run before the sweep, workers only
+// load.
+std::atomic<unsigned> flagMask{0};
+std::atomic<bool> envParsed{false};
 
-bool envParsed = false;
+std::mutex &
+flagMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 constexpr unsigned allMask =
     (1u << static_cast<unsigned>(Flag::NumFlags)) - 1;
@@ -35,13 +41,21 @@ maskOf(Flag flag)
 void
 parseEnvOnce()
 {
-    if (envParsed)
+    if (envParsed.load(std::memory_order_acquire))
         return;
-    envParsed = true;
+    std::lock_guard<std::mutex> lock(flagMutex());
+    if (envParsed.load(std::memory_order_relaxed))
+        return;
     const char *env = std::getenv("LOOPSIM_DEBUG");
-    flagMask = 0;
-    if (env)
+    if (env) {
+        // setFlags re-enters flagMutex-free paths only; it marks
+        // envParsed itself, so release the lock around the call by
+        // doing the work inline instead.
+        envParsed.store(true, std::memory_order_release);
         setFlags(env);
+        return;
+    }
+    envParsed.store(true, std::memory_order_release);
 }
 
 } // anonymous namespace
@@ -67,53 +81,58 @@ bool
 enabled(Flag flag)
 {
     parseEnvOnce();
-    return (flagMask & maskOf(flag)) != 0;
+    return (flagMask.load(std::memory_order_relaxed) & maskOf(flag)) != 0;
 }
 
 bool
 anyEnabled()
 {
     parseEnvOnce();
-    return flagMask != 0;
+    return flagMask.load(std::memory_order_relaxed) != 0;
 }
 
 void
 setFlags(const std::string &csv)
 {
-    envParsed = true;
+    envParsed.store(true, std::memory_order_release);
+    unsigned add = 0;
     for (const std::string &raw : split(csv, ',')) {
         std::string name = toLower(trim(raw));
         if (name.empty())
             continue;
         if (name == "all") {
-            flagMask = allMask;
+            add |= allMask;
             continue;
         }
         bool found = false;
         for (unsigned f = 0;
              f < static_cast<unsigned>(Flag::NumFlags); ++f) {
             if (toLower(flagName(static_cast<Flag>(f))) == name) {
-                flagMask |= 1u << f;
+                add |= 1u << f;
                 found = true;
                 break;
             }
         }
         fatal_if(!found, "unknown debug flag: ", raw);
     }
+    flagMask.fetch_or(add, std::memory_order_relaxed);
 }
 
 void
 clearFlags()
 {
-    envParsed = true;
-    flagMask = 0;
+    envParsed.store(true, std::memory_order_release);
+    flagMask.store(0, std::memory_order_relaxed);
 }
 
 void
 emit(Flag flag, Cycle cycle, const std::string &message)
 {
-    std::cerr << cycle << ": " << flagName(flag) << ": " << message
-              << "\n";
+    // One formatted string per line so concurrent workers cannot
+    // interleave mid-line.
+    std::ostringstream os;
+    os << cycle << ": " << flagName(flag) << ": " << message << "\n";
+    std::cerr << os.str();
 }
 
 } // namespace loopsim::debug

@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <iostream>
 
 namespace loopsim
@@ -9,19 +10,21 @@ namespace detail
 
 namespace
 {
-bool quietFlag = false;
+// Read on every warn()/inform() from any campaign worker; tests flip
+// it around run blocks, so it is atomic rather than a plain bool.
+std::atomic<bool> quietFlag{false};
 } // anonymous namespace
 
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 void
@@ -29,8 +32,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::ostringstream os;
     os << "panic: " << msg << " @ " << file << ":" << line;
-    if (!quietFlag)
-        std::cerr << os.str() << std::endl;
+    if (!quiet())
+        std::cerr << os.str() + "\n";
     throw PanicError(os.str());
 }
 
@@ -39,23 +42,25 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::ostringstream os;
     os << "fatal: " << msg << " @ " << file << ":" << line;
-    if (!quietFlag)
-        std::cerr << os.str() << std::endl;
+    if (!quiet())
+        std::cerr << os.str() + "\n";
     throw FatalError(os.str());
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!quietFlag)
-        std::cerr << "warn: " << msg << std::endl;
+    // Single buffered insertion per message so lines from concurrent
+    // campaign workers cannot interleave mid-line.
+    if (!quiet())
+        std::cerr << "warn: " + msg + "\n";
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quietFlag)
-        std::cout << "info: " << msg << std::endl;
+    if (!quiet())
+        std::cout << "info: " + msg + "\n" << std::flush;
 }
 
 } // namespace detail

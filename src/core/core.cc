@@ -110,6 +110,30 @@ Core::buildStats()
     loadLatency = &sg.newDistribution(
         "loadLatency", "data-ready latency of valid load executions",
         0, 256, 4);
+
+    // The scalars the harness copies into every RunResult, keyed by
+    // their unqualified names; handles, so extraction does no by-name
+    // registry lookups.
+    exported = {
+        {"cycles", cycles},
+        {"fetched", fetchedOps},
+        {"wrongPathFetched", wrongPathOps},
+        {"renamed", renamedOps},
+        {"issued", issuedOps},
+        {"reissued", reissuedOps},
+        {"retired", retiredTotal},
+        {"squashed", squashedOps},
+        {"branches", branchesRetired},
+        {"branchMispredicts", branchMispredicts},
+        {"loadMissEvents", loadMissEvents},
+        {"loadKilledOps", loadKilledOps},
+        {"tlbTraps", tlbTraps},
+        {"memOrderTraps", memOrderTrapCount},
+        {"operandMissEvents", operandMissEvents},
+        {"recoveryStallCycles", recoveryStallCycles},
+        {"iqOccupancy", iqOccupancy},
+        {"robOccupancy", robOccupancy},
+    };
 }
 
 void

@@ -20,6 +20,7 @@
 #include <set>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -81,6 +82,19 @@ class Core : public Clocked, public IntegrityProbe
     const MachineConfig &machine() const { return cfg; }
     stats::StatGroup &statGroup() { return sg; }
     const stats::StatGroup &statGroup() const { return sg; }
+
+    /**
+     * Unqualified name → handle for every scalar-valued stat the
+     * harness exports into RunResult::scalars. Cached at construction
+     * so result extraction never goes through the registry's by-name
+     * map (statGroup().lookupValue() stays available for ad-hoc and
+     * test queries).
+     */
+    const std::vector<std::pair<const char *, const stats::Stat *>> &
+    exportedStats() const
+    {
+        return exported;
+    }
     const MemoryHierarchy &memory() const { return *mem; }
     const DraUnit *dra() const { return draUnit.get(); }
     unsigned numThreads() const
@@ -309,6 +323,7 @@ class Core : public Clocked, public IntegrityProbe
     stats::Average *robOccupancy = nullptr;
     stats::Distribution *operandGap = nullptr;
     stats::Distribution *loadLatency = nullptr;
+    std::vector<std::pair<const char *, const stats::Stat *>> exported;
     /// @}
 };
 

@@ -1,0 +1,182 @@
+#include "harness/campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "base/logging.hh"
+#include "core/machine_config.hh"
+
+namespace loopsim
+{
+
+namespace
+{
+
+std::mutex telemetryMutex;
+CampaignTelemetry lastTelemetry;
+CampaignTelemetry totalTelemetry;
+
+std::atomic<unsigned> explicitJobs{0};
+
+/** LOOPSIM_JOBS, parsed once; 0 when unset or unusable. */
+unsigned
+envJobs()
+{
+    static const unsigned jobs = [] {
+        const char *env = std::getenv("LOOPSIM_JOBS");
+        if (!env || !*env)
+            return 0u;
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0')
+            return 0u;
+        return static_cast<unsigned>(std::min(v, 1024ul));
+    }();
+    return jobs;
+}
+
+/**
+ * Run one cell. runOnceResilient() already fail-softs SimError; this
+ * additionally catches everything else (fatal() on a malformed spec,
+ * a rethrown SimError under integrity.retry.fail_soft=false, ...) so
+ * a worker can never unwind out of its thread and abort the pool.
+ */
+RunResult
+runCell(const PlannedRun &cell, const RetryPolicy &policy)
+{
+    try {
+        return runOnceResilient(cell.spec, policy);
+    } catch (const std::exception &err) {
+        RunResult res;
+        res.failed = true;
+        res.error = err.what();
+        res.ipc = std::numeric_limits<double>::quiet_NaN();
+        try {
+            res.workloadLabel = cell.spec.workload.threads.empty()
+                                    ? cell.spec.workload.label
+                                    : figureLabel(cell.spec.workload);
+            res.pipeLabel = MachineConfig::fromConfig(cell.spec.overrides)
+                                .pipeLabel();
+        } catch (const std::exception &) {
+            // The spec itself is unprintable; keep whatever stuck.
+        }
+        if (res.workloadLabel.empty())
+            res.workloadLabel = cell.label.empty() ? "?" : cell.label;
+        if (res.pipeLabel.empty())
+            res.pipeLabel = "?";
+        return res;
+    }
+}
+
+} // anonymous namespace
+
+void
+CampaignTelemetry::accumulate(const CampaignTelemetry &other)
+{
+    jobs = std::max(jobs, other.jobs);
+    runs += other.runs;
+    failures += other.failures;
+    wallSeconds += other.wallSeconds;
+}
+
+void
+setCampaignJobs(unsigned jobs)
+{
+    explicitJobs.store(jobs, std::memory_order_relaxed);
+}
+
+unsigned
+campaignJobs()
+{
+    unsigned jobs = explicitJobs.load(std::memory_order_relaxed);
+    if (jobs == 0)
+        jobs = envJobs();
+    if (jobs == 0)
+        jobs = std::thread::hardware_concurrency();
+    return std::max(jobs, 1u);
+}
+
+std::vector<RunResult>
+runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
+            unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = campaignJobs();
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, std::max<std::size_t>(plan.size(), 1)));
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<RunResult> results(plan.size());
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            results[i] = runCell(plan.at(i), policy);
+    } else {
+        // Work-stealing by atomic cursor: each worker claims the next
+        // unclaimed plan index and writes its result slot. Slots are
+        // disjoint, so results need no lock; ordering is by plan index
+        // regardless of which worker finishes when.
+        std::atomic<std::size_t> cursor{0};
+        {
+            std::vector<std::jthread> workers;
+            workers.reserve(jobs);
+            for (unsigned t = 0; t < jobs; ++t) {
+                workers.emplace_back([&] {
+                    for (;;) {
+                        std::size_t i = cursor.fetch_add(
+                            1, std::memory_order_relaxed);
+                        if (i >= plan.size())
+                            return;
+                        results[i] = runCell(plan.at(i), policy);
+                    }
+                });
+            }
+        } // jthread joins here
+    }
+
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+
+    CampaignTelemetry t;
+    t.jobs = jobs;
+    t.runs = plan.size();
+    t.wallSeconds = wall.count();
+    for (const RunResult &r : results)
+        t.failures += r.failed ? 1 : 0;
+
+    {
+        std::lock_guard<std::mutex> lock(telemetryMutex);
+        lastTelemetry = t;
+        totalTelemetry.accumulate(t);
+    }
+    return results;
+}
+
+CampaignTelemetry
+lastCampaignTelemetry()
+{
+    std::lock_guard<std::mutex> lock(telemetryMutex);
+    return lastTelemetry;
+}
+
+CampaignTelemetry
+campaignTotals()
+{
+    std::lock_guard<std::mutex> lock(telemetryMutex);
+    return totalTelemetry;
+}
+
+void
+resetCampaignTotals()
+{
+    std::lock_guard<std::mutex> lock(telemetryMutex);
+    lastTelemetry = CampaignTelemetry{};
+    totalTelemetry = CampaignTelemetry{};
+}
+
+} // namespace loopsim

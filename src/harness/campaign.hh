@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Thread-pool campaign executor.
+ *
+ * A figure or ablation campaign is an embarrassingly-parallel set of
+ * independent simulation runs: each runOnce() builds its own Core,
+ * Simulator and statistics, so cells share nothing but immutable
+ * inputs (workload profiles, config defaults, the installed overlay).
+ * The executor takes a declarative CampaignPlan of RunSpecs and runs
+ * them on std::jthread workers.
+ *
+ * Determinism contract: results land by *plan index*, never by
+ * completion order, and every cell's simulation is a pure function of
+ * its RunSpec — so the assembled output of a parallel campaign is
+ * byte-identical to a serial one at any job count. Only stderr
+ * diagnostics (warn() lines from retries) may interleave differently.
+ *
+ * Failure contract: each cell runs through runOnceResilient(); a cell
+ * that still fails — or throws anything at all, including fatal() on a
+ * malformed spec — comes back as a failed RunResult instead of tearing
+ * down the pool. A campaign always returns one result per planned run.
+ */
+
+#ifndef LOOPSIM_HARNESS_CAMPAIGN_HH
+#define LOOPSIM_HARNESS_CAMPAIGN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace loopsim
+{
+
+/** One cell of a campaign: a run plus its coordinates in the plan. */
+struct PlannedRun
+{
+    RunSpec spec;
+    /** Optional diagnostic label ("fig4 swim 7_7"); not used for
+     *  result assembly, which is strictly by plan index. */
+    std::string label;
+};
+
+/** An ordered list of independent runs. */
+class CampaignPlan
+{
+  public:
+    /** Append a run; returns its plan index. */
+    std::size_t
+    add(RunSpec spec, std::string label = "")
+    {
+        cells.push_back(PlannedRun{std::move(spec), std::move(label)});
+        return cells.size() - 1;
+    }
+
+    /** Convenience: build the spec from its figure-driver parts. */
+    std::size_t
+    add(const Workload &workload, const Config &overrides,
+        std::uint64_t total_ops, std::string label = "")
+    {
+        RunSpec spec;
+        spec.workload = workload;
+        spec.overrides = overrides;
+        spec.totalOps = total_ops;
+        return add(std::move(spec), std::move(label));
+    }
+
+    std::size_t size() const { return cells.size(); }
+    bool empty() const { return cells.empty(); }
+    const PlannedRun &at(std::size_t i) const { return cells.at(i); }
+    const std::vector<PlannedRun> &runs() const { return cells; }
+
+  private:
+    std::vector<PlannedRun> cells;
+};
+
+/** What one campaign execution cost (wall clock, not simulated). */
+struct CampaignTelemetry
+{
+    unsigned jobs = 1;
+    std::size_t runs = 0;
+    std::size_t failures = 0;
+    double wallSeconds = 0.0;
+
+    double
+    runsPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(runs) / wallSeconds
+                   : 0.0;
+    }
+
+    /** Accumulate another campaign's cost (jobs: keep the max). */
+    void accumulate(const CampaignTelemetry &other);
+};
+
+/**
+ * Install the process-wide worker count: 0 restores automatic
+ * resolution. Thread-safe; takes effect for subsequent campaigns.
+ */
+void setCampaignJobs(unsigned jobs);
+
+/**
+ * Resolve the worker count for the next campaign, in decreasing
+ * precedence: setCampaignJobs() (the bench binaries' --jobs flag) >
+ * the LOOPSIM_JOBS environment variable > hardware_concurrency().
+ * Always at least 1.
+ */
+unsigned campaignJobs();
+
+/**
+ * Execute every cell of @p plan and return one RunResult per cell, in
+ * plan order. @p jobs 0 means campaignJobs(); the pool never spawns
+ * more workers than cells. @p policy is forwarded to
+ * runOnceResilient() (per-run integrity.retry.* keys still win).
+ */
+std::vector<RunResult> runCampaign(const CampaignPlan &plan,
+                                   const RetryPolicy &policy = {},
+                                   unsigned jobs = 0);
+
+/** Telemetry of the most recently completed campaign. */
+CampaignTelemetry lastCampaignTelemetry();
+
+/** Cumulative telemetry across every campaign this process ran
+ *  (the bench binaries record it into BENCH_campaign.json). */
+CampaignTelemetry campaignTotals();
+
+/** Zero the cumulative totals (tests). */
+void resetCampaignTotals();
+
+} // namespace loopsim
+
+#endif // LOOPSIM_HARNESS_CAMPAIGN_HH

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -22,12 +23,31 @@ namespace loopsim
 namespace
 {
 
-/** Process-wide overlay installed by setRunOverlay(). */
+/**
+ * Process-wide overlay installed by setRunOverlay(). Guarded by a
+ * mutex because concurrent campaign workers snapshot it per run;
+ * readers take a copy so Config's mutable read-tracking members are
+ * never shared across threads.
+ */
+std::mutex &
+overlayMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 Config &
-runOverlay()
+runOverlayLocked()
 {
     static Config overlay;
     return overlay;
+}
+
+Config
+runOverlaySnapshot()
+{
+    std::lock_guard<std::mutex> lock(overlayMutex());
+    return runOverlayLocked();
 }
 
 /** Parse LOOPSIM_OVERLAY ("a.b=c,d.e=f" or space-separated) once. */
@@ -57,7 +77,7 @@ effectiveConfig(const RunSpec &spec)
     Config cfg = defaultFigureConfig();
     cfg.overlay(spec.overrides);
     cfg.overlay(envOverlay());
-    cfg.overlay(runOverlay());
+    cfg.overlay(runOverlaySnapshot());
     return cfg;
 }
 
@@ -66,13 +86,15 @@ effectiveConfig(const RunSpec &spec)
 void
 setRunOverlay(const Config &overlay)
 {
-    runOverlay() = overlay;
+    std::lock_guard<std::mutex> lock(overlayMutex());
+    runOverlayLocked() = overlay;
 }
 
 void
 clearRunOverlay()
 {
-    runOverlay() = Config{};
+    std::lock_guard<std::mutex> lock(overlayMutex());
+    runOverlayLocked() = Config{};
 }
 
 double
@@ -202,8 +224,6 @@ runOnce(const RunSpec &spec)
     res.workloadLabel = figureLabel(spec.workload);
     res.pipeLabel = core.machine().pipeLabel();
     res.cycles = core.cyclesRun();
-    res.retired = static_cast<std::uint64_t>(
-        core.statGroup().lookupValue("core.retired"));
     res.ipc = core.ipc();
 
     const auto &src_vec = core.operandSourceStat();
@@ -217,21 +237,11 @@ runOnce(const RunSpec &spec)
     for (unsigned c = 0; c <= 128; ++c)
         res.gapCdf.push_back(gap.cdf(static_cast<double>(c)));
 
-    static const char *copied[] = {
-        "cycles", "fetched", "wrongPathFetched", "renamed", "issued",
-        "reissued", "retired", "squashed", "branches",
-        "branchMispredicts", "loadMissEvents", "loadKilledOps",
-        "tlbTraps", "memOrderTraps", "operandMissEvents",
-        "recoveryStallCycles",
-    };
-    for (const char *name : copied) {
-        res.scalars[name] =
-            core.statGroup().lookupValue(std::string("core.") + name);
-    }
-    res.scalars["iqOccupancy"] =
-        core.statGroup().lookupValue("core.iqOccupancy");
-    res.scalars["robOccupancy"] =
-        core.statGroup().lookupValue("core.robOccupancy");
+    // Extraction goes through the handles the core cached at
+    // construction, not string lookups in the stat registry.
+    for (const auto &[name, stat] : core.exportedStats())
+        res.scalars[name] = stat->value();
+    res.retired = static_cast<std::uint64_t>(res.scalar("retired"));
     if (const FaultInjector *fi = core.faultInjector())
         res.scalars["faultsInjected"] =
             static_cast<double>(fi->totalInjected());

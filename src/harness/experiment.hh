@@ -104,10 +104,28 @@ void setBasePipeline(Config &cfg, unsigned regfile_latency);
  * process-wide overlay installed with setRunOverlay(). The overlays
  * exist so whole figure campaigns can be re-run under fault injection
  * or altered integrity settings without touching driver code.
+ *
+ * Thread safety: runOnce() is safe to call concurrently — every run
+ * builds its own Core, Simulator, watchdog and statistics, and reads
+ * the overlays through an internal mutex (each run takes a private
+ * Config snapshot, so Config's read-tracking never crosses threads).
+ * The caller must not mutate @p spec during the call; distinct calls
+ * need distinct specs only in the trivial sense that each gets its
+ * own copy via the campaign plan or the stack.
  */
 RunResult runOnce(const RunSpec &spec);
 
-/** Install / clear the process-wide configuration overlay. */
+/**
+ * Install / clear the process-wide configuration overlay.
+ *
+ * Thread-safety contract: both calls take the same mutex the run path
+ * reads through, so an install is atomic with respect to concurrent
+ * runOnce() calls — every run observes either the whole old overlay
+ * or the whole new one, never a torn mix. Installing while a campaign
+ * is in flight is still discouraged (cells before and after the swap
+ * would disagree); install before launching the campaign, clear after
+ * it drains.
+ */
 void setRunOverlay(const Config &overlay);
 void clearRunOverlay();
 

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "base/logging.hh"
+#include "harness/campaign.hh"
 
 namespace loopsim
 {
@@ -20,29 +21,6 @@ resolveAll(const std::vector<std::string> &names)
     for (const auto &n : names)
         out.push_back(resolveWorkload(n));
     return out;
-}
-
-/**
- * Run one figure point fail-soft: retries are handled by
- * runOnceResilient(); a run that never finishes comes back with
- * failed=true and is logged into @p fig's failure footer so the rest
- * of the sweep still completes.
- */
-RunResult
-runConfig(FigureData &fig, const Workload &w, const Config &overrides,
-          std::uint64_t total_ops)
-{
-    RunSpec spec;
-    spec.workload = w;
-    spec.overrides = overrides;
-    spec.totalOps = total_ops;
-    RunResult r = runOnceResilient(spec);
-    if (r.failed) {
-        std::string brief = r.error.substr(0, r.error.find('\n'));
-        fig.failures.push_back(
-            r.workloadLabel + " [" + r.pipeLabel + "]: " + brief);
-    }
-    return r;
 }
 
 /** Operand-source fraction, NaN for a failed run. */
@@ -65,28 +43,51 @@ cdfAt(const RunResult &r, unsigned c)
 
 } // anonymous namespace
 
+std::vector<RunResult>
+runPlan(FigureData &fig, const CampaignPlan &plan)
+{
+    std::vector<RunResult> results = runCampaign(plan);
+    // Results land in plan order, so the failure footer reads exactly
+    // as it would from a serial sweep, at any job count.
+    for (const RunResult &r : results) {
+        if (r.failed) {
+            std::string brief = r.error.substr(0, r.error.find('\n'));
+            fig.failures.push_back(
+                r.workloadLabel + " [" + r.pipeLabel + "]: " + brief);
+        }
+    }
+    return results;
+}
+
 FigureData
 figure4(std::uint64_t total_ops)
 {
     // DEC-IQ/IQ-EX pairs summing to 6, 10, 14, 18 cycles.
     static const std::pair<unsigned, unsigned> points[] = {
         {3, 3}, {5, 5}, {7, 7}, {9, 9}};
+    constexpr std::size_t npoints = std::size(points);
 
     FigureData fig;
     fig.title = "Figure 4: performance for varying pipeline length "
                 "(speedup relative to 6 cycles decode-to-execute)";
     fig.valueUnit = "speedup";
 
-    for (const Workload &w : figureWorkloads()) {
-        fig.rowLabels.push_back(figureLabel(w));
-
-        RunResult baseline;
-        for (std::size_t p = 0; p < std::size(points); ++p) {
+    const std::vector<Workload> workloads = figureWorkloads();
+    CampaignPlan plan;
+    for (const Workload &w : workloads) {
+        for (const auto &[dec_iq, iq_ex] : points) {
             Config cfg;
-            setPipeline(cfg, points[p].first, points[p].second);
-            RunResult r = runConfig(fig, w, cfg, total_ops);
-            if (p == 0)
-                baseline = r;
+            setPipeline(cfg, dec_iq, iq_ex);
+            plan.add(w, cfg, total_ops);
+        }
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(workloads[wi]));
+        const RunResult &baseline = results[wi * npoints];
+        for (std::size_t p = 0; p < npoints; ++p) {
+            const RunResult &r = results[wi * npoints + p];
             if (fig.columns.size() <= p) {
                 fig.columns.push_back(Series{
                     std::to_string(points[p].first + points[p].second) +
@@ -104,22 +105,29 @@ figure5(std::uint64_t total_ops)
 {
     static const std::pair<unsigned, unsigned> points[] = {
         {3, 9}, {5, 7}, {7, 5}, {9, 3}};
+    constexpr std::size_t npoints = std::size(points);
 
     FigureData fig;
     fig.title = "Figure 5: performance for a fixed 12-cycle "
                 "decode-to-execute length (speedup relative to 3_9)";
     fig.valueUnit = "speedup";
 
-    for (const Workload &w : figureWorkloads()) {
-        fig.rowLabels.push_back(figureLabel(w));
-
-        RunResult baseline;
-        for (std::size_t p = 0; p < std::size(points); ++p) {
+    const std::vector<Workload> workloads = figureWorkloads();
+    CampaignPlan plan;
+    for (const Workload &w : workloads) {
+        for (const auto &[dec_iq, iq_ex] : points) {
             Config cfg;
-            setPipeline(cfg, points[p].first, points[p].second);
-            RunResult r = runConfig(fig, w, cfg, total_ops);
-            if (p == 0)
-                baseline = r;
+            setPipeline(cfg, dec_iq, iq_ex);
+            plan.add(w, cfg, total_ops);
+        }
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(workloads[wi]));
+        const RunResult &baseline = results[wi * npoints];
+        for (std::size_t p = 0; p < npoints; ++p) {
+            const RunResult &r = results[wi * npoints + p];
             if (fig.columns.size() <= p)
                 fig.columns.push_back(Series{r.pipeLabel, {}});
             fig.columns[p].values.push_back(speedup(r, baseline));
@@ -139,12 +147,16 @@ figure6(std::uint64_t total_ops, const std::vector<std::string> &workloads)
     for (unsigned c = 0; c <= 64; ++c)
         fig.rowLabels.push_back(std::to_string(c));
 
-    for (const Workload &w : resolveAll(workloads)) {
-        Config cfg; // base machine defaults
-        RunResult r = runConfig(fig, w, cfg, total_ops);
-        Series s{figureLabel(w), {}};
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved)
+        plan.add(w, Config{}, total_ops); // base machine defaults
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        Series s{figureLabel(resolved[wi]), {}};
         for (unsigned c = 0; c <= 64; ++c)
-            s.values.push_back(cdfAt(r, c));
+            s.values.push_back(cdfAt(results[wi], c));
         fig.columns.push_back(std::move(s));
     }
     return fig;
@@ -154,25 +166,32 @@ FigureData
 figure8(std::uint64_t total_ops)
 {
     static const unsigned rf_latencies[] = {3, 5, 7};
+    constexpr std::size_t npoints = std::size(rf_latencies);
 
     FigureData fig;
     fig.title = "Figure 8: DRA speedup over the base machine for "
                 "register file latencies 3, 5 and 7 cycles";
     fig.valueUnit = "speedup";
 
-    for (const Workload &w : figureWorkloads()) {
-        fig.rowLabels.push_back(figureLabel(w));
-
-        for (std::size_t p = 0; p < std::size(rf_latencies); ++p) {
-            unsigned rf = rf_latencies[p];
+    const std::vector<Workload> workloads = figureWorkloads();
+    CampaignPlan plan;
+    for (const Workload &w : workloads) {
+        for (unsigned rf : rf_latencies) {
             Config base_cfg;
             setBasePipeline(base_cfg, rf);
+            plan.add(w, base_cfg, total_ops);
             Config dra_cfg;
             setDraPipeline(dra_cfg, rf);
+            plan.add(w, dra_cfg, total_ops);
+        }
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
 
-            RunResult base = runConfig(fig, w, base_cfg, total_ops);
-            RunResult dra = runConfig(fig, w, dra_cfg, total_ops);
-
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(workloads[wi]));
+        for (std::size_t p = 0; p < npoints; ++p) {
+            const RunResult &base = results[(wi * npoints + p) * 2];
+            const RunResult &dra = results[(wi * npoints + p) * 2 + 1];
             if (fig.columns.size() <= p) {
                 fig.columns.push_back(Series{
                     "DRA:" + dra.pipeLabel + " vs Base:" + base.pipeLabel,
@@ -197,11 +216,18 @@ figure9(std::uint64_t total_ops)
     for (const char *l : labels)
         fig.columns.push_back(Series{l, {}});
 
-    for (const Workload &w : figureWorkloads()) {
-        fig.rowLabels.push_back(figureLabel(w));
+    const std::vector<Workload> workloads = figureWorkloads();
+    CampaignPlan plan;
+    for (const Workload &w : workloads) {
         Config cfg;
         setDraPipeline(cfg, 5);
-        RunResult r = runConfig(fig, w, cfg, total_ops);
+        plan.add(w, cfg, total_ops);
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(workloads[wi]));
+        const RunResult &r = results[wi];
         // operandSourceFractions order:
         // preread, forward, crc, regfile, payload, miss
         fig.columns[0].values.push_back(frac(r, 0));
@@ -217,32 +243,39 @@ ablationCrcSize(std::uint64_t total_ops,
                 const std::vector<std::string> &workloads)
 {
     static const unsigned sizes[] = {4, 8, 16, 32, 64};
+    constexpr std::size_t npoints = std::size(sizes);
 
     FigureData fig;
     fig.title = "Ablation: CRC capacity (7_3 DRA; speedup relative to "
                 "the 16-entry design point)";
     fig.valueUnit = "speedup";
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
-
-        RunResult ref_run;
-        std::vector<RunResult> runs;
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
         for (unsigned s : sizes) {
             Config cfg;
             setDraPipeline(cfg, 5);
             cfg.setUint("dra.crc.entries", s);
-            RunResult r = runConfig(fig, w, cfg, total_ops);
-            if (s == 16)
-                ref_run = r;
-            runs.push_back(std::move(r));
+            plan.add(w, cfg, total_ops);
         }
-        for (std::size_t p = 0; p < std::size(sizes); ++p) {
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
+        const RunResult *ref_run = nullptr;
+        for (std::size_t p = 0; p < npoints; ++p) {
+            if (sizes[p] == 16)
+                ref_run = &results[wi * npoints + p];
+        }
+        for (std::size_t p = 0; p < npoints; ++p) {
             if (fig.columns.size() <= p) {
                 fig.columns.push_back(
                     Series{std::to_string(sizes[p]) + " entries", {}});
             }
-            fig.columns[p].values.push_back(speedup(runs[p], ref_run));
+            fig.columns[p].values.push_back(
+                speedup(results[wi * npoints + p], *ref_run));
         }
     }
     return fig;
@@ -253,22 +286,32 @@ ablationCrcRepl(std::uint64_t total_ops,
                 const std::vector<std::string> &workloads)
 {
     static const char *policies[] = {"fifo", "lru"};
+    constexpr std::size_t npoints = std::size(policies);
 
     FigureData fig;
     fig.title = "Ablation: CRC replacement policy (7_3 DRA; operand "
                 "miss rate per policy)";
     fig.valueUnit = "operand miss fraction";
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
-        for (std::size_t p = 0; p < std::size(policies); ++p) {
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
+        for (const char *policy : policies) {
             Config cfg;
             setDraPipeline(cfg, 5);
-            cfg.set("dra.crc.repl", policies[p]);
-            RunResult r = runConfig(fig, w, cfg, total_ops);
+            cfg.set("dra.crc.repl", policy);
+            plan.add(w, cfg, total_ops);
+        }
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
+        for (std::size_t p = 0; p < npoints; ++p) {
             if (fig.columns.size() <= p)
                 fig.columns.push_back(Series{policies[p], {}});
-            fig.columns[p].values.push_back(frac(r, 5));
+            fig.columns[p].values.push_back(
+                frac(results[wi * npoints + p], 5));
         }
     }
     return fig;
@@ -279,24 +322,34 @@ ablationInsertionBits(std::uint64_t total_ops,
                       const std::vector<std::string> &workloads)
 {
     static const unsigned widths[] = {1, 2, 3};
+    constexpr std::size_t npoints = std::size(widths);
 
     FigureData fig;
     fig.title = "Ablation: insertion-table counter width (7_3 DRA; "
                 "operand miss rate per width)";
     fig.valueUnit = "operand miss fraction";
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
-        for (std::size_t p = 0; p < std::size(widths); ++p) {
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
+        for (unsigned bits : widths) {
             Config cfg;
             setDraPipeline(cfg, 5);
-            cfg.setUint("dra.insertion_bits", widths[p]);
-            RunResult r = runConfig(fig, w, cfg, total_ops);
+            cfg.setUint("dra.insertion_bits", bits);
+            plan.add(w, cfg, total_ops);
+        }
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
+        for (std::size_t p = 0; p < npoints; ++p) {
             if (fig.columns.size() <= p) {
                 fig.columns.push_back(
                     Series{std::to_string(widths[p]) + " bits", {}});
             }
-            fig.columns[p].values.push_back(frac(r, 5));
+            fig.columns[p].values.push_back(
+                frac(results[wi * npoints + p], 5));
         }
     }
     return fig;
@@ -307,25 +360,32 @@ ablationLoadRecovery(std::uint64_t total_ops,
                      const std::vector<std::string> &workloads)
 {
     static const char *modes[] = {"reissue", "refetch", "stall"};
+    constexpr std::size_t npoints = std::size(modes);
 
     FigureData fig;
     fig.title = "Ablation: load mis-speculation recovery policy (base "
                 "5_5 machine; speedup relative to reissue)";
     fig.valueUnit = "speedup";
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
-
-        RunResult ref_run;
-        for (std::size_t p = 0; p < std::size(modes); ++p) {
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
+        for (const char *mode : modes) {
             Config cfg;
-            cfg.set("core.load_recovery", modes[p]);
-            RunResult r = runConfig(fig, w, cfg, total_ops);
-            if (p == 0)
-                ref_run = r;
+            cfg.set("core.load_recovery", mode);
+            plan.add(w, cfg, total_ops);
+        }
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
+        const RunResult &ref_run = results[wi * npoints];
+        for (std::size_t p = 0; p < npoints; ++p) {
             if (fig.columns.size() <= p)
                 fig.columns.push_back(Series{modes[p], {}});
-            fig.columns[p].values.push_back(speedup(r, ref_run));
+            fig.columns[p].values.push_back(
+                speedup(results[wi * npoints + p], ref_run));
         }
     }
     return fig;
@@ -341,21 +401,24 @@ ablationKillShadow(std::uint64_t total_ops,
                 "tree reissue)";
     fig.valueUnit = "speedup";
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
-
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
         Config tree_cfg;
         tree_cfg.setBool("core.kill_all_in_shadow", false);
-        RunResult tree = runConfig(fig, w, tree_cfg, total_ops);
-
+        plan.add(w, tree_cfg, total_ops);
         Config shadow_cfg;
         shadow_cfg.setBool("core.kill_all_in_shadow", true);
-        RunResult shadow = runConfig(fig, w, shadow_cfg, total_ops);
+        plan.add(w, shadow_cfg, total_ops);
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
 
-        if (fig.columns.empty()) {
-            fig.columns.push_back(Series{"dep-tree", {}});
-            fig.columns.push_back(Series{"kill-shadow", {}});
-        }
+    fig.columns.push_back(Series{"dep-tree", {}});
+    fig.columns.push_back(Series{"kill-shadow", {}});
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
+        const RunResult &tree = results[wi * 2];
+        const RunResult &shadow = results[wi * 2 + 1];
         fig.columns[0].values.push_back(tree.failed ? failedPoint : 1.0);
         fig.columns[1].values.push_back(speedup(shadow, tree));
     }
@@ -367,24 +430,34 @@ ablationFwdDepth(std::uint64_t total_ops,
                  const std::vector<std::string> &workloads)
 {
     static const unsigned depths[] = {5, 7, 9, 13, 17};
+    constexpr std::size_t npoints = std::size(depths);
 
     FigureData fig;
     fig.title = "Ablation: forwarding-buffer depth (7_3 DRA; fraction "
                 "of operands read from the forwarding buffer)";
     fig.valueUnit = "fraction of operand reads";
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
-        for (std::size_t p = 0; p < std::size(depths); ++p) {
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
+        for (unsigned depth : depths) {
             Config cfg;
             setDraPipeline(cfg, 5);
-            cfg.setUint("core.fwd_depth", depths[p]);
-            RunResult r = runConfig(fig, w, cfg, total_ops);
+            cfg.setUint("core.fwd_depth", depth);
+            plan.add(w, cfg, total_ops);
+        }
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
+        for (std::size_t p = 0; p < npoints; ++p) {
             if (fig.columns.size() <= p) {
                 fig.columns.push_back(
                     Series{std::to_string(depths[p]) + " cyc", {}});
             }
-            fig.columns[p].values.push_back(frac(r, 1));
+            fig.columns[p].values.push_back(
+                frac(results[wi * npoints + p], 1));
         }
     }
     return fig;
@@ -400,22 +473,25 @@ ablationMemDep(std::uint64_t total_ops,
                 "speedup relative to ordering on)";
     fig.valueUnit = "speedup";
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
-
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
         Config on_cfg;
         on_cfg.setBool("core.memdep.enable", true);
-        RunResult on = runConfig(fig, w, on_cfg, total_ops);
-
+        plan.add(w, on_cfg, total_ops);
         Config off_cfg;
         off_cfg.setBool("core.memdep.enable", false);
-        RunResult off = runConfig(fig, w, off_cfg, total_ops);
+        plan.add(w, off_cfg, total_ops);
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
 
-        if (fig.columns.empty()) {
-            fig.columns.push_back(Series{"ordering on", {}});
-            fig.columns.push_back(Series{"ordering off", {}});
-            fig.columns.push_back(Series{"traps/op", {}});
-        }
+    fig.columns.push_back(Series{"ordering on", {}});
+    fig.columns.push_back(Series{"ordering off", {}});
+    fig.columns.push_back(Series{"traps/op", {}});
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
+        const RunResult &on = results[wi * 2];
+        const RunResult &off = results[wi * 2 + 1];
         fig.columns[0].values.push_back(on.failed ? failedPoint : 1.0);
         fig.columns[1].values.push_back(speedup(off, on));
         fig.columns[2].values.push_back(
@@ -431,25 +507,35 @@ ablationCrcTimeout(std::uint64_t total_ops,
                    const std::vector<std::string> &workloads)
 {
     static const std::uint64_t timeouts[] = {0, 256, 64, 16};
+    constexpr std::size_t npoints = std::size(timeouts);
 
     FigureData fig;
     fig.title = "Ablation: CRC stale-entry policy (7_3 DRA; operand "
                 "miss fraction for invalidate-only vs entry timeouts)";
     fig.valueUnit = "operand miss fraction";
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
-        for (std::size_t p = 0; p < std::size(timeouts); ++p) {
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
+        for (std::uint64_t timeout : timeouts) {
             Config cfg;
             setDraPipeline(cfg, 5);
-            cfg.setUint("dra.crc.timeout", timeouts[p]);
-            RunResult r = runConfig(fig, w, cfg, total_ops);
+            cfg.setUint("dra.crc.timeout", timeout);
+            plan.add(w, cfg, total_ops);
+        }
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
+        for (std::size_t p = 0; p < npoints; ++p) {
             if (fig.columns.size() <= p) {
                 std::string label = timeouts[p] == 0
                     ? "invalidate" : std::to_string(timeouts[p]) + " cyc";
                 fig.columns.push_back(Series{label, {}});
             }
-            fig.columns[p].values.push_back(frac(r, 5));
+            fig.columns[p].values.push_back(
+                frac(results[wi * npoints + p], 5));
         }
     }
     return fig;
@@ -469,11 +555,18 @@ sweepConfigs(const std::string &title,
     for (const auto &[label, cfg] : configs)
         fig.columns.push_back(Series{label, {}});
 
-    for (const Workload &w : resolveAll(workloads)) {
-        fig.rowLabels.push_back(figureLabel(w));
+    const std::vector<Workload> resolved = resolveAll(workloads);
+    CampaignPlan plan;
+    for (const Workload &w : resolved) {
+        for (const auto &[label, cfg] : configs)
+            plan.add(w, cfg, total_ops, label);
+    }
+    const std::vector<RunResult> results = runPlan(fig, plan);
+
+    for (std::size_t wi = 0; wi < resolved.size(); ++wi) {
+        fig.rowLabels.push_back(figureLabel(resolved[wi]));
         for (std::size_t p = 0; p < configs.size(); ++p) {
-            RunResult r =
-                runConfig(fig, w, configs[p].second, total_ops);
+            const RunResult &r = results[wi * configs.size() + p];
             fig.columns[p].values.push_back(
                 r.failed ? failedPoint : r.ipc);
         }

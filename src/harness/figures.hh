@@ -18,6 +18,8 @@
 namespace loopsim
 {
 
+class CampaignPlan;
+
 /** A labelled column of per-workload values. */
 struct Series
 {
@@ -100,6 +102,16 @@ FigureData ablationMemDep(std::uint64_t total_ops,
 FigureData ablationCrcTimeout(std::uint64_t total_ops,
                               const std::vector<std::string> &workloads);
 /// @}
+
+/**
+ * Execute @p plan on the campaign thread pool (harness/campaign.hh)
+ * and append a failure-footer line to @p fig for every fail-soft cell.
+ * Results and footer lines are in plan order regardless of job count,
+ * so assembled figures are byte-identical to a serial sweep. All the
+ * figure drivers above run through this; it is exposed for bench
+ * binaries and tests that assemble their own FigureData.
+ */
+std::vector<RunResult> runPlan(FigureData &fig, const CampaignPlan &plan);
 
 /**
  * Generic sweep: one row per workload, one labelled configuration per

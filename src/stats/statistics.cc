@@ -257,15 +257,14 @@ StatGroup::newFormula(const std::string &name, const std::string &desc,
 const Stat *
 StatGroup::find(const std::string &name) const
 {
-    std::string full = groupName.empty() ? name : groupName + "." + name;
-    auto it = statsByName.find(full);
-    if (it == statsByName.end()) {
-        // Also accept fully-qualified names.
-        it = statsByName.find(name);
-        if (it == statsByName.end())
-            return nullptr;
+    if (!groupName.empty()) {
+        auto it = statsByName.find(groupName + "." + name);
+        if (it != statsByName.end())
+            return it->second.get();
     }
-    return it->second.get();
+    // Also accept fully-qualified names.
+    auto it = statsByName.find(name);
+    return it == statsByName.end() ? nullptr : it->second.get();
 }
 
 double

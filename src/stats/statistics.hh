@@ -19,10 +19,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace loopsim::stats
@@ -188,6 +188,14 @@ class Formula : public Stat
 /**
  * Owner/registry of statistics. Components create their stats through a
  * group; the simulator dumps or resets the whole group at once.
+ *
+ * The registration methods return references the owner is expected to
+ * cache: simulation hot paths bump stats only through those handles.
+ * The by-name index (a hash map; dump order comes from the separate
+ * registration-order list) backs find()/lookupValue() for harness and
+ * test queries, never per-cycle work. Groups are confined to the run
+ * that built them — one StatGroup per Core — so they need no internal
+ * locking under the parallel campaign executor.
  */
 class StatGroup
 {
@@ -220,7 +228,7 @@ class StatGroup
     T &emplace(const std::string &name, Args &&...args);
 
     std::string groupName;
-    std::map<std::string, std::unique_ptr<Stat>> statsByName;
+    std::unordered_map<std::string, std::unique_ptr<Stat>> statsByName;
     std::vector<Stat *> order;
 };
 
