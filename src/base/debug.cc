@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 
 #include "base/logging.hh"
 #include "base/str.hh"
@@ -46,7 +47,8 @@ parseEnvOnce()
     std::lock_guard<std::mutex> lock(flagMutex());
     if (envParsed.load(std::memory_order_relaxed))
         return;
-    const char *env = std::getenv("LOOPSIM_DEBUG");
+    // Guarded by flagMutex and only ever read, never set, by us.
+    const char *env = std::getenv("LOOPSIM_DEBUG"); // NOLINT(concurrency-mt-unsafe)
     if (env) {
         // setFlags re-enters flagMutex-free paths only; it marks
         // envParsed itself, so release the lock around the call by

@@ -151,6 +151,10 @@ Core::processEvents(Cycle now)
         events.pop();
         panic_if(ev.cycle < now, "event missed its cycle");
 
+        // Audit context: evaluated only when a read violates the loop
+        // discipline.
+        auto violation_context = [&] { return instTimeline(ev.ref); };
+
         switch (ev.type) {
           case EventType::Writeback: {
             // The value leaves the forwarding buffer and lands in the
@@ -167,17 +171,33 @@ Core::processEvents(Cycle now)
             startExecution(ev.ref, now, ev.issueStamp);
             break;
           case EventType::LoadMissKill: {
+            // The load loop's resolution reaches the IQ: unwrap it
+            // through the port (audit builds verify the loop delay)
+            // before any staleness early-out, so every signal sent is
+            // read exactly once.
+            loadPort.read(ev.signalId, now, violation_context);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
             panic_if(inst.pendingEvents == 0, "pending-event underflow");
             --inst.pendingEvents;
-            // issueStamp == invalidCycle marks an operand-miss tree
-            // kill, which stays valid across the faulter's revert.
-            if (ev.issueStamp != invalidCycle &&
-                inst.issueCycle != ev.issueStamp) {
+            if (inst.issueCycle != ev.issueStamp)
                 break;
-            }
+            if (cfg.killAllInShadow && inst.op.isLoad())
+                killLoadShadow(inst, now);
+            else
+                killDependencyTree(ev.ref, now);
+            break;
+          }
+          case EventType::OperandMissKill: {
+            // The DRA operand loop's fault notification reaches the
+            // IQ; stays valid across the faulter's revert (§5.4).
+            operandPort.read(ev.signalId, now, violation_context);
+            if (!pool.live(ev.ref))
+                break;
+            DynInst &inst = pool.get(ev.ref);
+            panic_if(inst.pendingEvents == 0, "pending-event underflow");
+            --inst.pendingEvents;
             if (cfg.killAllInShadow && inst.op.isLoad())
                 killLoadShadow(inst, now);
             else
@@ -185,6 +205,8 @@ Core::processEvents(Cycle now)
             break;
           }
           case EventType::TlbTrap: {
+            LoadResolveMsg msg =
+                loadPort.read(ev.signalId, now, violation_context);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
@@ -194,22 +216,26 @@ Core::processEvents(Cycle now)
                 break;
             // Memory trap: recover from the front of the pipeline.
             killDependencyTree(ev.ref, now);
-            squashYounger(inst.op.tid, inst.fetchStamp, now);
+            squashYounger(msg.tid, msg.squashStamp, now);
             break;
           }
           case EventType::OrderTrap: {
             // Load/store reorder trap: the load (and everything after
             // it) restarts from fetch; the wait table was already
             // trained at detection.
+            LoadResolveMsg msg =
+                loadPort.read(ev.signalId, now, violation_context);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
             panic_if(inst.pendingEvents == 0, "pending-event underflow");
             --inst.pendingEvents;
-            squashYounger(inst.op.tid, inst.fetchStamp - 1, now);
+            squashYounger(msg.tid, msg.squashStamp, now);
             break;
           }
           case EventType::BranchRedirect: {
+            BranchResolveMsg msg =
+                branchPort.read(ev.signalId, now, violation_context);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
@@ -218,17 +244,21 @@ Core::processEvents(Cycle now)
             if (inst.issueCycle != ev.issueStamp)
                 break;
             inst.redirectDone = true;
-            squashYounger(inst.op.tid, inst.fetchStamp, now);
+            squashYounger(msg.tid, msg.squashStamp, now);
             break;
           }
           case EventType::PayloadDelivery: {
+            // The recovered operands arrive at the IQ payload; the
+            // miss mask travels through the port, properly typed.
+            OperandMissMsg msg =
+                operandPort.read(ev.signalId, now, violation_context);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
             if (!inst.waitingRecovery)
                 break;
             for (unsigned i = 0; i < 2; ++i) {
-                if (ev.reg & (1u << i)) {
+                if (msg.missMask & (1u << i)) {
                     inst.operandInPayload[i] = true;
                     inst.payloadFromRecovery[i] = true;
                 }
@@ -637,6 +667,31 @@ Core::debugDump(std::ostream &os) const
             os << "\n";
         }
     }
+}
+
+std::string
+Core::instTimeline(InstRef ref) const
+{
+    if (!pool.live(ref))
+        return {};
+    const DynInst &inst = pool.get(ref);
+    std::ostringstream os;
+    auto cycle = [&os](const char *label, Cycle c) {
+        os << " " << label << " ";
+        if (c == invalidCycle)
+            os << "-";
+        else
+            os << c;
+    };
+    os << inst.op.toString() << " [";
+    cycle("fetch", inst.fetchCycle);
+    cycle("rename", inst.renameCycle);
+    cycle("insert", inst.insertCycle);
+    cycle("issue", inst.issueCycle);
+    cycle("exec", inst.execStartCycle);
+    cycle("produce", inst.produceCycle);
+    os << " ]";
+    return os.str();
 }
 
 double

@@ -38,6 +38,7 @@
 #include "dra/dra_unit.hh"
 #include "integrity/probe.hh"
 #include "mem/hierarchy.hh"
+#include "sim/feedback_port.hh"
 #include "sim/simulator.hh"
 #include "stats/statistics.hh"
 #include "workload/generator.hh"
@@ -47,6 +48,39 @@ namespace loopsim
 
 class Config;
 class FaultInjector;
+
+/** @name Feedback-loop messages (see sim/feedback_port.hh)
+ *
+ * The payloads carried by the three paper loops. They travel only
+ * through a FeedbackPort: writers stamp them with the resolution cycle
+ * and the configured loop delay, readers unwrap them with read(now),
+ * and audit builds verify the discipline. tools/loop_lint.py rejects
+ * constructions of these types outside a port send.
+ */
+/// @{
+/** Branch resolution into fetch: squash parameters for the redirect. */
+struct BranchResolveMsg
+{
+    ThreadId tid = 0;
+    /** Squash everything younger than this fetch stamp. */
+    std::uint64_t squashStamp = 0;
+};
+
+/** Load hit/miss resolution into issue (and memory traps into fetch). */
+struct LoadResolveMsg
+{
+    ThreadId tid = 0;
+    /** Traps: squash everything younger than this fetch stamp. */
+    std::uint64_t squashStamp = 0;
+};
+
+/** DRA operand-miss resolution into issue (§5.4). */
+struct OperandMissMsg
+{
+    /** Bit i set: source operand i missed and is being recovered. */
+    unsigned missMask = 0;
+};
+/// @}
 
 class Core : public Clocked, public IntegrityProbe
 {
@@ -123,6 +157,27 @@ class Core : public Clocked, public IntegrityProbe
     /** The fault injector, or nullptr when fault injection is off. */
     const FaultInjector *faultInjector() const { return injector.get(); }
 
+    /** @name Feedback ports (loop-discipline enforcement surface)
+     *
+     * Exposed read-only so tests can assert that the three paper loops
+     * actually flow through the ports (delivered() > 0) and that audit
+     * runs drained every in-flight signal they read.
+     */
+    /// @{
+    const FeedbackPort<BranchResolveMsg> &branchResolvePort() const
+    {
+        return branchPort;
+    }
+    const FeedbackPort<LoadResolveMsg> &loadResolvePort() const
+    {
+        return loadPort;
+    }
+    const FeedbackPort<OperandMissMsg> &operandMissPort() const
+    {
+        return operandPort;
+    }
+    /// @}
+
     /**
      * Panic unless the machine has fully drained: no instructions in
      * flight, every IQ slot free, and every physical register either
@@ -150,13 +205,14 @@ class Core : public Clocked, public IntegrityProbe
     /// @{
     enum class EventType : std::uint8_t
     {
-        Writeback,      ///< value leaves fwd buffer, lands in RF
-        LoadMissKill,   ///< load-resolution-loop mis-speculation at IQ
-        TlbTrap,        ///< memory trap: front-of-pipe recovery
-        OrderTrap,      ///< load/store reorder trap: refetch the load
-        BranchRedirect, ///< branch-resolution-loop repair at fetch
-        ExecStart,      ///< instruction reaches the functional unit
-        PayloadDelivery ///< operand-miss recovery reaches the payload
+        Writeback,       ///< value leaves fwd buffer, lands in RF
+        LoadMissKill,    ///< load-resolution-loop mis-speculation at IQ
+        OperandMissKill, ///< DRA operand-loop mis-speculation at IQ
+        TlbTrap,         ///< memory trap: front-of-pipe recovery
+        OrderTrap,       ///< load/store reorder trap: refetch the load
+        BranchRedirect,  ///< branch-resolution-loop repair at fetch
+        ExecStart,       ///< instruction reaches the functional unit
+        PayloadDelivery  ///< operand-miss recovery reaches the payload
     };
 
     struct Event
@@ -168,6 +224,8 @@ class Core : public Clocked, public IntegrityProbe
         Cycle issueStamp = invalidCycle; ///< staleness check
         PhysReg reg = invalidPhysReg;    ///< Writeback payload
         Cycle expect = invalidCycle;     ///< Writeback produce check
+        /** Feedback-port signal id (0 for non-feedback events). */
+        std::uint64_t signalId = 0;
 
         bool
         operator>(const Event &o) const
@@ -269,6 +327,10 @@ class Core : public Clocked, public IntegrityProbe
     void buildStats();
     bool backendDrained() const;
 
+    /** One-line timeline of @p ref for discipline-violation reports
+     *  (empty when the instruction is no longer live). */
+    std::string instTimeline(InstRef ref) const;
+
     MachineConfig cfg;
     std::unique_ptr<MemoryHierarchy> mem;
     std::unique_ptr<DraUnit> draUnit;
@@ -289,6 +351,16 @@ class Core : public Clocked, public IntegrityProbe
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events;
     std::uint64_t eventOrder = 0;
+
+    /** @name The three paper feedback loops, as checked ports */
+    /// @{
+    FeedbackPort<BranchResolveMsg> branchPort{"core.fetch",
+                                              "branch-resolution"};
+    FeedbackPort<LoadResolveMsg> loadPort{"core.issue",
+                                          "load-resolution"};
+    FeedbackPort<OperandMissMsg> operandPort{"core.issue",
+                                             "dra-operand-miss"};
+    /// @}
 
     std::uint64_t fetchStampCounter = 0;
     unsigned clusterCursor = 0;

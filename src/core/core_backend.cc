@@ -222,14 +222,31 @@ Core::handleOperandMiss(DynInst &inst, InstRef ref, Cycle exec_start,
     killInstruction(inst);
     inst.waitingRecovery = true;
 
-    Cycle signal = exec_start + 1 + cfg.loadFeedback;
+    // The fault is detected one cycle into execution and loops back to
+    // the IQ: the kill arrives after the loop delay, the recovered
+    // operands a register-file read later. Both travel through the
+    // operand port; fault injection may deliver the kill early (the
+    // stamp keeps the honest delay, so audit reads catch the cheat).
+    Cycle detect = exec_start + 1;
+    Cycle signal = detect + cfg.loadFeedback;
+    std::uint64_t payload_sid =
+        operandPort.send(detect, cfg.loadFeedback + cfg.regfileLatency,
+                         OperandMissMsg{miss_mask});
     schedule(Event{signal + cfg.regfileLatency,
                    EventType::PayloadDelivery, 0, ref, invalidCycle,
-                   static_cast<PhysReg>(miss_mask), invalidCycle});
+                   invalidPhysReg, invalidCycle, payload_sid});
 
+    std::uint64_t kill_sid =
+        operandPort.send(detect, cfg.loadFeedback,
+                         OperandMissMsg{miss_mask});
+    Cycle kill_at = signal;
+    if (injector) {
+        kill_at -= std::min<Cycle>(injector->earlyOperandRead(),
+                                   cfg.loadFeedback);
+    }
     ++inst.pendingEvents;
-    schedule(Event{signal, EventType::LoadMissKill, 0, ref, invalidCycle,
-                   invalidPhysReg, invalidCycle});
+    schedule(Event{kill_at, EventType::OperandMissKill, 0, ref,
+                   invalidCycle, invalidPhysReg, invalidCycle, kill_sid});
 
     // §5.4: the front end stalls while the missing operands are read
     // from the register file and forwarded to the instruction payload.
@@ -306,23 +323,39 @@ Core::handleLoadExec(DynInst &inst, InstRef ref, Cycle exec_start)
     schedule(Event{fwd.writebackCycle(produce), EventType::Writeback, 0,
                    InstRef{}, invalidCycle, dest, produce});
 
+    // The hit/miss outcome exists at the end of the L1 probe and loops
+    // back to the IQ after the load feedback delay: stamp the signal
+    // accordingly so audit builds can verify no stage saw it earlier.
+    Cycle resolved_at = exec_start + l1_lat;
     if (res.tlbMiss) {
         // Memory trap: recovered from the front of the pipe (§2, the
         // Alpha memory trap loop; §3.1, turb3d).
         *tlbTraps += 1;
         ++inst.pendingEvents;
+        std::uint64_t sid =
+            loadPort.send(resolved_at, cfg.loadFeedback,
+                          LoadResolveMsg{inst.op.tid, inst.fetchStamp});
         schedule(Event{notify, EventType::TlbTrap, 0, ref,
-                       inst.issueCycle, invalidPhysReg, invalidCycle});
+                       inst.issueCycle, invalidPhysReg, invalidCycle,
+                       sid});
     } else if (cfg.loadRecovery == LoadRecovery::Reissue) {
         ++inst.pendingEvents;
+        std::uint64_t sid =
+            loadPort.send(resolved_at, cfg.loadFeedback,
+                          LoadResolveMsg{inst.op.tid, inst.fetchStamp});
         schedule(Event{notify, EventType::LoadMissKill, 0, ref,
-                       inst.issueCycle, invalidPhysReg, invalidCycle});
+                       inst.issueCycle, invalidPhysReg, invalidCycle,
+                       sid});
     } else if (cfg.loadRecovery == LoadRecovery::Refetch) {
         // §2.2.2: the alternative of squashing and refetching from the
         // first instruction after the load.
         ++inst.pendingEvents;
+        std::uint64_t sid =
+            loadPort.send(resolved_at, cfg.loadFeedback,
+                          LoadResolveMsg{inst.op.tid, inst.fetchStamp});
         schedule(Event{notify, EventType::TlbTrap, 0, ref,
-                       inst.issueCycle, invalidPhysReg, invalidCycle});
+                       inst.issueCycle, invalidPhysReg, invalidCycle,
+                       sid});
     }
     // Stall mode needs no recovery: nothing issued speculatively.
 
@@ -355,9 +388,20 @@ Core::handleBranchExec(DynInst &inst, InstRef ref, Cycle exec_start)
         inst.mispredicted = true;
         *branchMispredicts += 1;
         ++inst.pendingEvents;
-        schedule(Event{resolve + cfg.branchFeedback,
-                       EventType::BranchRedirect, 0, ref,
-                       inst.issueCycle, invalidPhysReg, invalidCycle});
+        // The resolution travels back to fetch through the branch
+        // port. Fault injection may schedule the redirect early; the
+        // stamp keeps the honest delay, so an audit read catches it.
+        std::uint64_t sid = branchPort.send(
+            resolve, cfg.branchFeedback,
+            BranchResolveMsg{inst.op.tid, inst.fetchStamp});
+        Cycle redirect_at = resolve + cfg.branchFeedback;
+        if (injector) {
+            redirect_at -= std::min<Cycle>(injector->earlyBranchRead(),
+                                           cfg.branchFeedback);
+        }
+        schedule(Event{redirect_at, EventType::BranchRedirect, 0, ref,
+                       inst.issueCycle, invalidPhysReg, invalidCycle,
+                       sid});
     }
 }
 
@@ -397,10 +441,13 @@ Core::executeValid(DynInst &inst, InstRef ref, Cycle exec_start)
             // Stores trap on dTLB misses too.
             *tlbTraps += 1;
             ++inst.pendingEvents;
+            std::uint64_t sid = loadPort.send(
+                exec_start + mem->l1Latency(), cfg.loadFeedback,
+                LoadResolveMsg{inst.op.tid, inst.fetchStamp});
             schedule(Event{exec_start + mem->l1Latency() +
                                cfg.loadFeedback,
                            EventType::TlbTrap, 0, ref, inst.issueCycle,
-                           invalidPhysReg, invalidCycle});
+                           invalidPhysReg, invalidCycle, sid});
         }
         break;
       }
@@ -529,9 +576,14 @@ Core::handleStoreOrdering(DynInst &inst, InstRef ref, Cycle exec_start)
     *memOrderTrapCount += 1;
     memDep->trainTrap(load.op.pc);
     ++load.pendingEvents;
+    // The trap restarts the load itself, so the squash stamp is one
+    // below its own fetch stamp.
+    std::uint64_t sid = loadPort.send(
+        exec_start + mem->l1Latency(), cfg.loadFeedback,
+        LoadResolveMsg{load.op.tid, load.fetchStamp - 1});
     schedule(Event{exec_start + mem->l1Latency() + cfg.loadFeedback,
                    EventType::OrderTrap, 0, victim, invalidCycle,
-                   invalidPhysReg, invalidCycle});
+                   invalidPhysReg, invalidCycle, sid});
     (void)ref;
 }
 

@@ -110,6 +110,7 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
     jobs = static_cast<unsigned>(
         std::min<std::size_t>(jobs, std::max<std::size_t>(plan.size(), 1)));
 
+    // loop:exempt(wall-clock telemetry only; never feeds simulated time)
     auto start = std::chrono::steady_clock::now();
     std::vector<RunResult> results(plan.size());
 
@@ -140,6 +141,7 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
     }
 
     std::chrono::duration<double> wall =
+        // loop:exempt(wall-clock telemetry only; never feeds simulated time)
         std::chrono::steady_clock::now() - start;
 
     CampaignTelemetry t;

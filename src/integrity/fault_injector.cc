@@ -52,6 +52,12 @@ FaultPlan::fromConfig(const Config &cfg)
     p.portStallRate = rate(cfg, "integrity.fault.port_stall");
     p.portStallCycles =
         cfg.getUint("integrity.fault.port_stall_cycles", p.portStallCycles);
+    p.earlyBranchReadCycles =
+        cfg.getUint("integrity.fault.early_branch_read",
+                    p.earlyBranchReadCycles);
+    p.earlyOperandReadCycles =
+        cfg.getUint("integrity.fault.early_operand_read",
+                    p.earlyOperandReadCycles);
     return p;
 }
 

@@ -58,11 +58,22 @@ struct FaultPlan
     double branchCorruptRate = 0.0;
     double portStallRate = 0.0;
     Cycle portStallCycles = 4;
+    /**
+     * Deliberate loop-discipline breakers (not random draws): deliver
+     * every branch-resolution / DRA operand-miss feedback this many
+     * cycles before its declared loop delay has elapsed. The port
+     * stamp keeps the honest delay, so audit builds
+     * (sim/feedback_port.hh) catch each early read with a structured
+     * DisciplineViolation — these knobs exist to prove that.
+     */
+    Cycle earlyBranchReadCycles = 0;
+    Cycle earlyOperandReadCycles = 0;
 
     /**
      * integrity.fault.enable, .seed, .wakeup_drop, .wakeup_delay /
      * .wakeup_delay_cycles, .load_delay / .load_delay_cycles,
-     * .branch_corrupt, .port_stall / .port_stall_cycles.
+     * .branch_corrupt, .port_stall / .port_stall_cycles,
+     * .early_branch_read, .early_operand_read.
      */
     static FaultPlan fromConfig(const Config &cfg);
 };
@@ -84,6 +95,10 @@ class FaultInjector
     bool corruptBranch();
     /** Cycles the cache port is stalled for this access (0 = none). */
     Cycle portStall();
+    /** Cycles to deliver branch feedback early (discipline breaker). */
+    Cycle earlyBranchRead() const { return cfg.earlyBranchReadCycles; }
+    /** Cycles to deliver operand-miss feedback early. */
+    Cycle earlyOperandRead() const { return cfg.earlyOperandReadCycles; }
     /// @}
 
     std::uint64_t injected(FaultKind kind) const;

@@ -15,6 +15,7 @@
 #ifndef LOOPSIM_INTEGRITY_SIM_ERROR_HH
 #define LOOPSIM_INTEGRITY_SIM_ERROR_HH
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -58,6 +59,76 @@ class CycleLimitError : public SimError
     std::string phaseName;
     Cycle cycleLimit;
     std::string dump;
+};
+
+/**
+ * The loop discipline was broken: a stage observed a feedback signal
+ * (branch resolution, load hit/miss, DRA operand miss) before the
+ * declared loop delay had elapsed — a decision based on global
+ * knowledge, which the paper's methodology forbids (§6). Raised by
+ * FeedbackPort::read() in audit builds (sim/feedback_port.hh).
+ */
+class DisciplineViolation : public SimError
+{
+  public:
+    /**
+     * @param component_name the reading stage ("core.fetch", ...)
+     * @param signal_kind    "branch-resolution", "load-resolution",
+     *                       "dra-operand-miss", ...
+     * @param write_cycle    when the outcome was produced
+     * @param loop_delay     the declared feedback-loop length
+     * @param read_cycle     when the stage observed it
+     * @param inst_timeline  the offending instruction's timeline (may
+     *                       be empty when no instruction is live)
+     */
+    DisciplineViolation(std::string component_name,
+                        std::string signal_kind, Cycle write_cycle,
+                        Cycle loop_delay, Cycle read_cycle,
+                        std::string inst_timeline)
+        : SimError("loop-discipline",
+                   formatMessage(component_name, signal_kind,
+                                 write_cycle, loop_delay, read_cycle,
+                                 inst_timeline)),
+          componentName(std::move(component_name)),
+          signalKindName(std::move(signal_kind)),
+          writtenAt(write_cycle), delay(loop_delay), readAt(read_cycle),
+          timelineDump(std::move(inst_timeline))
+    {}
+
+    const std::string &component() const { return componentName; }
+    const std::string &signalKind() const { return signalKindName; }
+    Cycle writeCycle() const { return writtenAt; }
+    Cycle loopDelay() const { return delay; }
+    Cycle readCycle() const { return readAt; }
+    /** How many cycles before legal visibility the read happened. */
+    Cycle cyclesEarly() const { return writtenAt + delay - readAt; }
+    /** Timeline of the offending instruction (empty if unavailable). */
+    const std::string &timeline() const { return timelineDump; }
+
+  private:
+    static std::string
+    formatMessage(const std::string &component, const std::string &kind,
+                  Cycle write_cycle, Cycle loop_delay, Cycle read_cycle,
+                  const std::string &timeline)
+    {
+        std::ostringstream os;
+        os << "loop-discipline violation: " << component << " read "
+           << kind << " signal " << (write_cycle + loop_delay - read_cycle)
+           << " cycle(s) early (written at cycle " << write_cycle
+           << ", loop delay " << loop_delay << ", visible at cycle "
+           << write_cycle + loop_delay << ", read at cycle "
+           << read_cycle << ")";
+        if (!timeline.empty())
+            os << "\n  offending instruction: " << timeline;
+        return os.str();
+    }
+
+    std::string componentName;
+    std::string signalKindName;
+    Cycle writtenAt;
+    Cycle delay;
+    Cycle readAt;
+    std::string timelineDump;
 };
 
 } // namespace loopsim

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include "base/logging.hh"
+#include "integrity/sim_error.hh"
 
 namespace loopsim
 {
@@ -16,6 +17,15 @@ Cycle
 Simulator::run(Cycle max_cycles)
 {
     panic_if(components.empty(), "Simulator::run with no components");
+    // A zero budget used to return 0 with hitCycleLimit() == false —
+    // indistinguishable from a successful drain. Make it a structured,
+    // recoverable error instead of a silent no-op.
+    if (max_cycles == 0) {
+        throw SimError("invalid-budget",
+                       "Simulator::run with a zero cycle budget: no "
+                       "component can make progress, but the run would "
+                       "report hitCycleLimit() == false");
+    }
     Cycle start = currentCycle;
     cycleLimited = false;
 

@@ -7,6 +7,12 @@
  * components report completion or a cycle limit is reached. Components
  * model their own internal pipelining and propagation delays; the kernel
  * guarantees only a global, monotonically increasing cycle count.
+ *
+ * The kernel therefore cannot see a component cheating its own loop
+ * delays. Cross-stage feedback (branch resolution, load hit/miss, DRA
+ * operand miss) must travel through sim/feedback_port.hh, whose audit
+ * mode turns the paper's no-global-knowledge rule into a checked
+ * invariant.
  */
 
 #ifndef LOOPSIM_SIM_SIMULATOR_HH
@@ -47,6 +53,9 @@ class Simulator
 
     /**
      * Run until every component is done or @p max_cycles elapse.
+     * Throws SimError (kind "invalid-budget") when @p max_cycles is
+     * zero: a zero budget would otherwise look like a successful
+     * drain (hitCycleLimit() == false with nothing simulated).
      * @return the number of cycles actually simulated.
      */
     Cycle run(Cycle max_cycles);

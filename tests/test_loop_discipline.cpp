@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The checked loop discipline: FeedbackPort unit behaviour, end-to-end
+ * audit catches of deliberately-early feedback reads (the
+ * integrity.fault.early_*_read discipline breakers), audit-mode
+ * transparency on clean runs, and the zero-cycle-budget regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core_test_util.hh"
+#include "harness/figures.hh"
+#include "harness/report.hh"
+#include "integrity/sim_error.hh"
+#include "sim/feedback_port.hh"
+
+using namespace loopsim;
+using namespace loopsim::opbuild;
+using namespace loopsim::testutil;
+
+namespace
+{
+
+/** Kernel with one forced branch mispredict (resolution feedback). */
+std::vector<MicroOp>
+mispredictKernel()
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 5; ++i)
+        ops.push_back(alu(static_cast<ArchReg>(i)));
+    ops.push_back(branch(0, true, /*mispredict=*/true));
+    for (int i = 0; i < 5; ++i)
+        ops.push_back(alu(static_cast<ArchReg>(10 + i)));
+    return ops;
+}
+
+/**
+ * Kernel + config forcing a DRA operand miss (from the CoreDra
+ * saturated-consumers test): a 1-bit insertion table drained by an
+ * early consumer leaves the late same-cluster consumer to miss and
+ * recover through the payload path.
+ */
+std::vector<MicroOp>
+operandMissKernel()
+{
+    std::vector<MicroOp> ops;
+    ops.push_back(alu(2));    // chain head
+    ops.push_back(alu(1));    // producer
+    ops.push_back(alu(4, 1)); // early consumer drains the count
+    for (int i = 0; i < 40; ++i)
+        ops.push_back(alu(2, 2)); // delay chain
+    MicroOp late = alu(3, 2);
+    late.src[1] = 1; // late same-cluster consumer of r1
+    ops.push_back(late);
+    return ops;
+}
+
+Config
+operandMissConfig()
+{
+    Config cfg;
+    cfg.setBool("dra.enable", true);
+    cfg.setUint("dra.insertion_bits", 1);
+    cfg.setUint("core.clusters", 1);
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(FeedbackPort, DeliversAtVisibilityUnderAudit)
+{
+    audit::Scoped on(true);
+    FeedbackPort<int> port("stage", "signal");
+    std::uint64_t id = port.send(/*write_cycle=*/10, /*loop_delay=*/3, 42);
+    EXPECT_EQ(port.inFlight(), 1u);
+    EXPECT_EQ(port.read(id, /*now=*/13), 42); // exactly visibleAt: legal
+    EXPECT_EQ(port.inFlight(), 0u);
+    EXPECT_EQ(port.sent(), 1u);
+    EXPECT_EQ(port.delivered(), 1u);
+}
+
+TEST(FeedbackPort, EarlyReadRaisesStructuredViolation)
+{
+    audit::Scoped on(true);
+    FeedbackPort<int> port("core.fetch", "branch-resolution");
+    std::uint64_t id = port.send(100, 5, 7);
+    try {
+        port.read(id, /*now=*/103,
+                  [] { return std::string("op [ fetch 90 ]"); });
+        FAIL() << "early read did not raise";
+    } catch (const DisciplineViolation &v) {
+        EXPECT_EQ(v.kind(), "loop-discipline");
+        EXPECT_EQ(v.component(), "core.fetch");
+        EXPECT_EQ(v.signalKind(), "branch-resolution");
+        EXPECT_EQ(v.writeCycle(), 100u);
+        EXPECT_EQ(v.loopDelay(), 5u);
+        EXPECT_EQ(v.readCycle(), 103u);
+        EXPECT_EQ(v.cyclesEarly(), 2u);
+        EXPECT_EQ(v.timeline(), "op [ fetch 90 ]");
+        std::string msg = v.what();
+        EXPECT_NE(msg.find("core.fetch"), std::string::npos);
+        EXPECT_NE(msg.find("2 cycle(s) early"), std::string::npos);
+        EXPECT_NE(msg.find("offending instruction"), std::string::npos);
+    }
+    // The signal was consumed by the failed read; nothing leaks.
+    EXPECT_EQ(port.inFlight(), 0u);
+}
+
+TEST(FeedbackPort, EarlyReadUnwrapsWhenAuditOff)
+{
+    audit::Scoped off(false);
+    FeedbackPort<int> port("stage", "signal");
+    std::uint64_t id = port.send(100, 5, 7);
+    // No audit: the cheat goes unnoticed (which is exactly why the
+    // audit leg exists in CI).
+    EXPECT_EQ(port.read(id, 101), 7);
+    EXPECT_EQ(port.delivered(), 1u);
+}
+
+TEST(FeedbackPort, AbandonedSignalsVanishWithThePort)
+{
+    audit::Scoped on(true);
+    FeedbackPort<int> port("stage", "signal");
+    port.send(1, 1, 1); // never read: squashed speculation
+    std::uint64_t id = port.send(2, 1, 2);
+    EXPECT_EQ(port.read(id, 3), 2);
+    EXPECT_EQ(port.inFlight(), 1u);
+    EXPECT_EQ(port.sent(), 2u);
+    EXPECT_EQ(port.delivered(), 1u);
+    // Destruction with one in flight must not panic.
+}
+
+TEST(LoopDiscipline, EarlyBranchResolutionReadIsCaught)
+{
+    // The discipline breaker delivers the branch-resolution feedback
+    // one cycle before its declared loop delay has elapsed; the fetch
+    // stage's audited read must catch the cheat and name the culprit.
+    Config cfg;
+    cfg.setBool("integrity.fault.enable", true);
+    cfg.setUint("integrity.fault.early_branch_read", 1);
+    auto h = makeHarness(mispredictKernel(), cfg);
+    audit::Scoped on(true);
+    h.sim.add(h.core.get());
+    try {
+        h.sim.run(200000);
+        FAIL() << "early branch-resolution read was not caught";
+    } catch (const DisciplineViolation &v) {
+        EXPECT_EQ(v.component(), "core.fetch");
+        EXPECT_EQ(v.signalKind(), "branch-resolution");
+        EXPECT_EQ(v.cyclesEarly(), 1u);
+        // The offending branch is in flight: its timeline is reported.
+        EXPECT_NE(v.timeline().find("fetch"), std::string::npos);
+    }
+}
+
+TEST(LoopDiscipline, EarlyOperandMissReadIsCaught)
+{
+    Config cfg = operandMissConfig();
+    cfg.setBool("integrity.fault.enable", true);
+    cfg.setUint("integrity.fault.early_operand_read", 1);
+    auto h = makeHarness(operandMissKernel(), cfg);
+    audit::Scoped on(true);
+    h.sim.add(h.core.get());
+    try {
+        h.sim.run(200000);
+        FAIL() << "early operand-miss read was not caught";
+    } catch (const DisciplineViolation &v) {
+        EXPECT_EQ(v.component(), "core.issue");
+        EXPECT_EQ(v.signalKind(), "dra-operand-miss");
+        EXPECT_EQ(v.cyclesEarly(), 1u);
+    }
+}
+
+TEST(LoopDiscipline, CheatRunsSilentlyWithoutAudit)
+{
+    // The same early-read cheat with auditing off: the run completes
+    // and every op retires — the violation is invisible, the model
+    // just quietly got a shorter loop. This is the failure mode the
+    // audit leg exists to catch.
+    Config cfg;
+    cfg.setBool("integrity.fault.enable", true);
+    cfg.setUint("integrity.fault.early_branch_read", 1);
+    auto h = makeHarness(mispredictKernel(), cfg);
+    audit::Scoped off(false);
+    h.run();
+    EXPECT_EQ(h.core->retiredOps(), 11u);
+    EXPECT_EQ(h.stat("branchMispredicts"), 1.0);
+}
+
+TEST(LoopDiscipline, CleanRunIsViolationFreeUnderAudit)
+{
+    // All three loops exercised with auditing on: branch resolution
+    // (mispredict), load resolution (L1 miss kill/reissue), and the
+    // run completes untouched — every delivery flowed through a port
+    // at or after its visibility cycle.
+    std::vector<MicroOp> ops;
+    ops.push_back(alu(1));
+    ops.push_back(store(1, 1, 0x5000000));
+    for (int i = 0; i < 12; ++i)
+        ops.push_back(alu(1, 1)); // hold the load behind the store
+    ops.push_back(load(2, 1, 0x5000000 + 256)); // TLB hit, L1 miss
+    ops.push_back(alu(3, 2)); // speculatively woken consumer
+    ops.push_back(branch(0, true, /*mispredict=*/true));
+    for (int i = 0; i < 5; ++i)
+        ops.push_back(alu(static_cast<ArchReg>(10 + i)));
+    auto h = makeHarness(ops);
+    audit::Scoped on(true);
+    h.run();
+    EXPECT_GE(h.stat("branchMispredicts"), 1.0);
+    EXPECT_GE(h.stat("loadMissEvents"), 1.0);
+    EXPECT_GE(h.core->branchResolvePort().delivered(), 1u);
+    EXPECT_GE(h.core->loadResolvePort().delivered(), 1u);
+}
+
+TEST(LoopDiscipline, DraRecoveryIsViolationFreeUnderAudit)
+{
+    auto h = makeHarness(operandMissKernel(), operandMissConfig());
+    audit::Scoped on(true);
+    h.run();
+    EXPECT_GE(h.stat("operandMissEvents"), 1.0);
+    // Kill and payload delivery both redeemed their signals.
+    EXPECT_GE(h.core->operandMissPort().delivered(), 2u);
+}
+
+TEST(LoopDiscipline, AuditDoesNotPerturbFigure8StyleSweep)
+{
+    // A Figure-8-shaped sweep (DRA vs base machine) with auditing on
+    // must be violation-free and produce byte-identical output to the
+    // unaudited sweep: the checks are pure observers.
+    Config base;
+    Config dra;
+    dra.setBool("dra.enable", true);
+
+    auto render = [&](bool audit_on) {
+        audit::Scoped scoped(audit_on);
+        FigureData fig = sweepConfigs(
+            "fig8-style audit transparency sweep", {"m88ksim", "turb3d"},
+            {{"base", base}, {"dra", dra}}, 4000);
+        EXPECT_TRUE(fig.failures.empty());
+        for (const Series &col : fig.columns)
+            for (double v : col.values)
+                EXPECT_TRUE(std::isfinite(v));
+        std::ostringstream os;
+        printCsv(os, fig);
+        return os.str();
+    };
+
+    std::string unaudited = render(false);
+    std::string audited = render(true);
+    EXPECT_FALSE(audited.empty());
+    EXPECT_EQ(audited, unaudited);
+}
+
+TEST(SimulatorRun, ZeroCycleBudgetIsStructuredError)
+{
+    auto h = makeHarness({alu(0)});
+    h.sim.add(h.core.get());
+    try {
+        h.sim.run(0);
+        FAIL() << "zero-cycle budget did not raise";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), "invalid-budget");
+        EXPECT_NE(std::string(e.what()).find("zero cycle budget"),
+                  std::string::npos);
+    }
+}

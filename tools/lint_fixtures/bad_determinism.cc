@@ -1,0 +1,32 @@
+// Fixture: every determinism hazard loop_lint.py must reject.
+// Never compiled; consumed by `loop_lint.py --self-test`.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace loopsim_fixture
+{
+
+int unseededNoise()
+{
+    return std::rand();
+}
+
+void reseedFromWallClock()
+{
+    std::srand(12345u);
+}
+
+long wallClockSeed()
+{
+    return time(nullptr);
+}
+
+double wallClockTiming()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    return static_cast<double>(t0.time_since_epoch().count());
+}
+
+} // namespace loopsim_fixture

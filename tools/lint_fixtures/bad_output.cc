@@ -1,0 +1,20 @@
+// Fixture: bare-output shapes loop_lint.py must reject.
+// Never compiled; consumed by `loop_lint.py --self-test`.
+
+#include <cstdio>
+#include <iostream>
+
+namespace loopsim_fixture
+{
+
+void chattyStage(int ipc)
+{
+    std::cout << "ipc=" << ipc << "\n";
+}
+
+void chattyStageC(int ipc)
+{
+    printf("ipc=%d\n", ipc);
+}
+
+} // namespace loopsim_fixture

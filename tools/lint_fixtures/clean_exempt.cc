@@ -1,0 +1,23 @@
+// Fixture: patterns that hit the lint regexes but carry a
+// `loop:exempt(<reason>)` annotation — --self-test fails if any of
+// these are flagged.
+
+#include <chrono>
+#include <iostream>
+
+namespace loopsim_fixture
+{
+
+double telemetry()
+{
+    // loop:exempt(wall-clock telemetry, never feeds simulated time)
+    auto t0 = std::chrono::steady_clock::now();
+    return static_cast<double>(t0.time_since_epoch().count());
+}
+
+void sanctionedBanner()
+{
+    std::cout << "banner\n"; // loop:exempt(CLI banner outside sim loop)
+}
+
+} // namespace loopsim_fixture

@@ -1,0 +1,69 @@
+// Fixture: every feedback-bypass shape loop_lint.py must reject.
+// This file is never compiled; it exists so --self-test can prove the
+// linter catches code that schedules or handles a feedback event
+// without going through a FeedbackPort.
+
+#include <cstdint>
+
+namespace loopsim_fixture
+{
+
+void scheduleWithoutPort(std::uint64_t resolve)
+{
+    // Writer side: a branch-resolution event scheduled directly, with
+    // no branchPort.send() stamping the message. The audit layer never
+    // sees this signal.
+    schedule(Event{resolve + 2, EventType::BranchRedirect, ref});
+}
+
+// Padding so the next violation sits outside the proximity window of
+// anything above.
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+void handleWithoutPort(const Event &ev)
+{
+    switch (ev.type) {
+    case EventType::LoadMissKill: // reader side, no port.read() nearby
+        killLoadShadow(ev.ref);
+        break;
+    default:
+        break;
+    }
+}
+
+// Padding.
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+void constructOutsidePort()
+{
+    // Signal payloads travel only through ports; a loose construction
+    // means some stage is passing feedback around by hand.
+    auto msg = BranchResolveMsg{0, 42};
+    consume(msg);
+}
+
+} // namespace loopsim_fixture

@@ -1,0 +1,30 @@
+// Fixture: the sanctioned feedback shape — event scheduling and
+// handling with the FeedbackPort send()/read() adjacent. Must produce
+// zero findings.
+
+#include <cstdint>
+
+namespace loopsim_fixture
+{
+
+void scheduleThroughPort(std::uint64_t resolve, std::uint64_t delay)
+{
+    auto sid = branchPort.send(resolve, delay, BranchResolveMsg{0, 42});
+    schedule(Event{resolve + delay, EventType::BranchRedirect, ref,
+                   0, 0, sid});
+}
+
+void handleThroughPort(const Event &ev, std::uint64_t now)
+{
+    switch (ev.type) {
+    case EventType::BranchRedirect: {
+        auto msg = branchPort.read(ev.signalId, now);
+        squashYounger(msg.tid, msg.squashStamp, now);
+        break;
+    }
+    default:
+        break;
+    }
+}
+
+} // namespace loopsim_fixture
