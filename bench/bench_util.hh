@@ -2,10 +2,14 @@
  * @file
  * Shared helpers for the figure-reproduction bench binaries.
  *
- * Common CLI surface: `<bench> [OPS] [--jobs N] [--csv]` in any
- * argument order, plus the LOOPSIM_BENCH_OPS and LOOPSIM_JOBS
- * environment variables. Every binary records campaign telemetry
- * (wall clock, runs/sec) into BENCH_campaign.json on exit.
+ * Common CLI surface: `<bench> [OPS] [--jobs N] [--csv] [--trace PATH]
+ * [--profile]` in any argument order, plus the LOOPSIM_BENCH_OPS,
+ * LOOPSIM_JOBS, LOOPSIM_TRACE and LOOPSIM_PROFILE environment
+ * variables. Every binary records campaign telemetry (wall clock,
+ * runs/sec, and the kernel tick profile when --profile is on) into
+ * BENCH_campaign.json on exit; --trace additionally writes the
+ * campaign's loop-event trace (Chrome JSON, or CSV for *.csv paths —
+ * see src/trace/loop_trace.hh and DESIGN.md §11).
  */
 
 #ifndef LOOPSIM_BENCH_BENCH_UTIL_HH
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "harness/campaign.hh"
+#include "trace/loop_trace.hh"
 
 namespace loopsim::benchutil
 {
@@ -47,7 +52,38 @@ parseCount(const std::string &text, const char *what)
 inline bool
 flagTakesValue(const std::string &flag)
 {
-    return flag == "--jobs" || flag == "-j";
+    return flag == "--jobs" || flag == "-j" || flag == "--trace";
+}
+
+/** Value of a `--flag V` / `--flag=V` option, or "" when absent. */
+inline std::string
+flagValue(int argc, char **argv, const std::string &flag)
+{
+    const std::string prefix = flag + "=";
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind(prefix, 0) == 0)
+            return a.substr(prefix.size());
+        if (a != flag)
+            continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", flag.c_str());
+            std::exit(2);
+        }
+        return argv[i + 1];
+    }
+    return "";
+}
+
+/** True when @p flag appears anywhere in argv. */
+inline bool
+hasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
 }
 
 } // namespace detail
@@ -96,13 +132,17 @@ benchJobs(int argc, char **argv)
         std::string value;
         if (a.rfind("--jobs=", 0) == 0) {
             value = a.substr(7);
-        } else if (detail::flagTakesValue(a)) {
+        } else if (a == "--jobs" || a == "-j") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n", a.c_str());
                 std::exit(2);
             }
             value = argv[++i];
         } else {
+            // Other value-taking flags (--trace PATH): skip the value
+            // so it is never misread as a job count.
+            if (detail::flagTakesValue(a))
+                ++i;
             continue;
         }
         return static_cast<unsigned>(
@@ -115,11 +155,26 @@ benchJobs(int argc, char **argv)
 inline bool
 wantCsv(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--csv")
-            return true;
-    }
-    return false;
+    return detail::hasFlag(argc, argv, "--csv");
+}
+
+/**
+ * Loop-event trace output path: `--trace PATH` / `--trace=PATH`, else
+ * the LOOPSIM_TRACE environment variable; "" when tracing is off.
+ */
+inline std::string
+benchTrace(int argc, char **argv)
+{
+    std::string path = detail::flagValue(argc, argv, "--trace");
+    return !path.empty() ? path : trace::tracePath();
+}
+
+/** Kernel self-profiling: `--profile`, else LOOPSIM_PROFILE. */
+inline bool
+benchProfile(int argc, char **argv)
+{
+    return detail::hasFlag(argc, argv, "--profile") ||
+           tickProfilingActive();
 }
 
 /** Workloads used by ablation benches (a representative subset). */
@@ -135,7 +190,11 @@ ablationWorkloads()
  * Construct it at the top of main(); the destructor appends a JSON
  * entry with the cumulative campaign wall clock and runs/sec, so the
  * perf trajectory of the figure suite is recorded run over run. The
- * constructor also installs the --jobs worker count.
+ * constructor also installs the --jobs worker count, enables trace
+ * collection when --trace/LOOPSIM_TRACE names a path (the destructor
+ * writes the collected trace there), and turns on kernel tick
+ * profiling under --profile/LOOPSIM_PROFILE (recorded as the entry's
+ * "tick_profile" array).
  */
 class CampaignRecorder
 {
@@ -143,9 +202,16 @@ class CampaignRecorder
     CampaignRecorder(std::string bench_name, std::uint64_t ops,
                      int argc, char **argv)
         : name(std::move(bench_name)), totalOps(ops),
+          tracePath(benchTrace(argc, argv)),
           start(std::chrono::steady_clock::now())
     {
         setCampaignJobs(benchJobs(argc, argv));
+        if (!tracePath.empty()) {
+            trace::setTracePath(tracePath);
+            trace::setCollection(true);
+        }
+        if (benchProfile(argc, argv))
+            setTickProfiling(true);
     }
 
     ~CampaignRecorder()
@@ -161,8 +227,26 @@ class CampaignRecorder
               << ", \"failures\": " << t.failures
               << ", \"campaign_wall_s\": " << t.wallSeconds
               << ", \"runs_per_s\": " << t.runsPerSecond()
-              << ", \"process_wall_s\": " << wall.count() << "}";
+              << ", \"process_wall_s\": " << wall.count();
+        if (!t.tickProfile.empty()) {
+            entry << ", \"tick_profile\": [";
+            for (std::size_t i = 0; i < t.tickProfile.size(); ++i) {
+                const ComponentProfile &p = t.tickProfile[i];
+                entry << (i ? ", " : "") << "{\"component\": \""
+                      << p.name << "\", \"ticks\": " << p.ticks
+                      << ", \"seconds\": " << p.seconds << "}";
+            }
+            entry << "]";
+        }
+        entry << "}";
         append(entry.str());
+
+        if (!tracePath.empty() &&
+            !trace::writeTraceFile(tracePath,
+                                   trace::takeCollectedRuns())) {
+            std::fprintf(stderr, "could not write trace file %s\n",
+                         tracePath.c_str());
+        }
     }
 
     CampaignRecorder(const CampaignRecorder &) = delete;
@@ -204,6 +288,7 @@ class CampaignRecorder
 
     std::string name;
     std::uint64_t totalOps;
+    std::string tracePath;
     std::chrono::steady_clock::time_point start;
 };
 

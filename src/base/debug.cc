@@ -75,6 +75,8 @@ flagName(Flag flag)
       case Flag::Kill: return "Kill";
       case Flag::Dra: return "Dra";
       case Flag::Mem: return "Mem";
+      case Flag::Pool: return "Pool";
+      case Flag::Reg: return "Reg";
       default: panic("unknown debug flag");
     }
 }
@@ -134,6 +136,14 @@ emit(Flag flag, Cycle cycle, const std::string &message)
     // interleave mid-line.
     std::ostringstream os;
     os << cycle << ": " << flagName(flag) << ": " << message << "\n";
+    std::cerr << os.str();
+}
+
+void
+emit(Flag flag, const std::string &message)
+{
+    std::ostringstream os;
+    os << "-: " << flagName(flag) << ": " << message << "\n";
     std::cerr << os.str();
 }
 

@@ -34,6 +34,8 @@ enum class Flag : unsigned
     Kill,
     Dra,
     Mem,
+    Pool, ///< instruction-pool slot transitions (LOOPSIM_TRACE_POOL)
+    Reg,  ///< physical-register transitions (LOOPSIM_TRACE_REG)
     NumFlags
 };
 
@@ -54,6 +56,10 @@ bool anyEnabled();
 
 /** Emit one trace line (already guarded by enabled()). */
 void emit(Flag flag, Cycle cycle, const std::string &message);
+
+/** Emit a trace line with no meaningful cycle (structure-level hooks
+ *  like pool/regfile transitions that fire outside stage code). */
+void emit(Flag flag, const std::string &message);
 
 /**
  * Trace macro: evaluates its message arguments only when the flag is

@@ -57,9 +57,23 @@ Core::Core(const Config &config, std::vector<TraceSource *> sources)
     }
 
     buildStats();
+
+    // Trace collection is a process-wide choice (the --trace knob /
+    // LOOPSIM_TRACE); a null recorder keeps untraced runs at one
+    // pointer test per feedback delivery.
+    if (trace::collectionActive())
+        loopTrace = std::make_unique<trace::RunRecorder>();
 }
 
 Core::~Core() = default;
+
+std::vector<trace::LoopEvent>
+Core::takeLoopTrace()
+{
+    if (!loopTrace)
+        return {};
+    return loopTrace->take();
+}
 
 void
 Core::buildStats()
@@ -103,6 +117,15 @@ Core::buildStats()
     iqOccupancy = &sg.newAverage("iqOccupancy", "IQ entries held");
     robOccupancy = &sg.newAverage("robOccupancy",
                                   "instructions in flight");
+    branchLoopOpenCycles =
+        &sg.newScalar("branchLoopOpenCycles",
+                      "cycles with branch-loop feedback in flight");
+    loadLoopOpenCycles =
+        &sg.newScalar("loadLoopOpenCycles",
+                      "cycles with load-loop feedback in flight");
+    operandLoopOpenCycles =
+        &sg.newScalar("operandLoopOpenCycles",
+                      "cycles with operand-loop feedback in flight");
     operandGap = &sg.newDistribution(
         "operandGap",
         "cycles between availability of an instruction's first and "
@@ -110,6 +133,23 @@ Core::buildStats()
     loadLatency = &sg.newDistribution(
         "loadLatency", "data-ready latency of valid load executions",
         0, 256, 4);
+    // Loop occupancy (DESIGN.md §11): instructions in flight, sampled
+    // each cycle a loop is open — an upper bound on the work exposed
+    // to that loop's repair. Unit buckets over the ROB range give an
+    // exact CDF.
+    const double occ_max = static_cast<double>(cfg.robEntries);
+    branchLoopOcc = &sg.newDistribution(
+        "branchLoopOccupancy",
+        "instructions speculatively exposed per branch-loop-open cycle",
+        0, occ_max, 1);
+    loadLoopOcc = &sg.newDistribution(
+        "loadLoopOccupancy",
+        "instructions speculatively exposed per load-loop-open cycle",
+        0, occ_max, 1);
+    operandLoopOcc = &sg.newDistribution(
+        "operandLoopOccupancy",
+        "instructions speculatively exposed per operand-loop-open cycle",
+        0, occ_max, 1);
 
     // The scalars the harness copies into every RunResult, keyed by
     // their unqualified names; handles, so extraction does no by-name
@@ -133,6 +173,9 @@ Core::buildStats()
         {"recoveryStallCycles", recoveryStallCycles},
         {"iqOccupancy", iqOccupancy},
         {"robOccupancy", robOccupancy},
+        {"branchLoopOpenCycles", branchLoopOpenCycles},
+        {"loadLoopOpenCycles", loadLoopOpenCycles},
+        {"operandLoopOpenCycles", operandLoopOpenCycles},
     };
 }
 
@@ -174,8 +217,15 @@ Core::processEvents(Cycle now)
             // The load loop's resolution reaches the IQ: unwrap it
             // through the port (audit builds verify the loop delay)
             // before any staleness early-out, so every signal sent is
-            // read exactly once.
-            loadPort.read(ev.signalId, now, violation_context);
+            // read exactly once. readStamped keeps the write stamp so
+            // the trace row carries the full loop geometry.
+            [[maybe_unused]] const DelayedSignal<LoadResolveMsg> sig =
+                loadPort.readStamped(ev.signalId, now,
+                                     violation_context);
+            LOOPSIM_TRACE_LOOP_EVENT(
+                loopTrace.get(), trace::LoopEventType::LoadKill,
+                sig.value.tid, sig.writeCycle, sig.loopDelay, now,
+                pool.live(ev.ref) ? pool.get(ev.ref).fetchStamp : 0);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
@@ -192,7 +242,15 @@ Core::processEvents(Cycle now)
           case EventType::OperandMissKill: {
             // The DRA operand loop's fault notification reaches the
             // IQ; stays valid across the faulter's revert (§5.4).
-            operandPort.read(ev.signalId, now, violation_context);
+            [[maybe_unused]] const DelayedSignal<OperandMissMsg> sig =
+                operandPort.readStamped(ev.signalId, now,
+                                        violation_context);
+            LOOPSIM_TRACE_LOOP_EVENT(
+                loopTrace.get(), trace::LoopEventType::OperandKill,
+                pool.live(ev.ref) ? pool.get(ev.ref).op.tid
+                                  : ThreadId{0},
+                sig.writeCycle, sig.loopDelay, now,
+                pool.live(ev.ref) ? pool.get(ev.ref).fetchStamp : 0);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
@@ -205,8 +263,14 @@ Core::processEvents(Cycle now)
             break;
           }
           case EventType::TlbTrap: {
-            LoadResolveMsg msg =
-                loadPort.read(ev.signalId, now, violation_context);
+            const DelayedSignal<LoadResolveMsg> sig =
+                loadPort.readStamped(ev.signalId, now,
+                                     violation_context);
+            const LoadResolveMsg &msg = sig.value;
+            LOOPSIM_TRACE_LOOP_EVENT(
+                loopTrace.get(), trace::LoopEventType::TlbTrap,
+                msg.tid, sig.writeCycle, sig.loopDelay, now,
+                pool.live(ev.ref) ? pool.get(ev.ref).fetchStamp : 0);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
@@ -223,8 +287,14 @@ Core::processEvents(Cycle now)
             // Load/store reorder trap: the load (and everything after
             // it) restarts from fetch; the wait table was already
             // trained at detection.
-            LoadResolveMsg msg =
-                loadPort.read(ev.signalId, now, violation_context);
+            const DelayedSignal<LoadResolveMsg> sig =
+                loadPort.readStamped(ev.signalId, now,
+                                     violation_context);
+            const LoadResolveMsg &msg = sig.value;
+            LOOPSIM_TRACE_LOOP_EVENT(
+                loopTrace.get(), trace::LoopEventType::OrderTrap,
+                msg.tid, sig.writeCycle, sig.loopDelay, now,
+                pool.live(ev.ref) ? pool.get(ev.ref).fetchStamp : 0);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
@@ -234,8 +304,15 @@ Core::processEvents(Cycle now)
             break;
           }
           case EventType::BranchRedirect: {
-            BranchResolveMsg msg =
-                branchPort.read(ev.signalId, now, violation_context);
+            const DelayedSignal<BranchResolveMsg> sig =
+                branchPort.readStamped(ev.signalId, now,
+                                       violation_context);
+            const BranchResolveMsg &msg = sig.value;
+            LOOPSIM_TRACE_LOOP_EVENT(
+                loopTrace.get(),
+                trace::LoopEventType::BranchResolution, msg.tid,
+                sig.writeCycle, sig.loopDelay, now,
+                pool.live(ev.ref) ? pool.get(ev.ref).fetchStamp : 0);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
@@ -250,8 +327,16 @@ Core::processEvents(Cycle now)
           case EventType::PayloadDelivery: {
             // The recovered operands arrive at the IQ payload; the
             // miss mask travels through the port, properly typed.
-            OperandMissMsg msg =
-                operandPort.read(ev.signalId, now, violation_context);
+            const DelayedSignal<OperandMissMsg> sig =
+                operandPort.readStamped(ev.signalId, now,
+                                        violation_context);
+            const OperandMissMsg &msg = sig.value;
+            LOOPSIM_TRACE_LOOP_EVENT(
+                loopTrace.get(), trace::LoopEventType::OperandPayload,
+                pool.live(ev.ref) ? pool.get(ev.ref).op.tid
+                                  : ThreadId{0},
+                sig.writeCycle, sig.loopDelay, now,
+                pool.live(ev.ref) ? pool.get(ev.ref).fetchStamp : 0);
             if (!pool.live(ev.ref))
                 break;
             DynInst &inst = pool.get(ev.ref);
@@ -444,6 +529,30 @@ Core::tick(Cycle now)
 
     iqOccupancy->sample(static_cast<double>(iq.size()));
     robOccupancy->sample(static_cast<double>(pool.inUse()));
+    sampleLoopOccupancy();
+}
+
+void
+Core::sampleLoopOccupancy()
+{
+    // A loop is "open" while it has feedback in flight: a resolution
+    // has been produced but its initiation stage has not consumed it
+    // yet. Everything in flight during an open cycle is speculatively
+    // exposed to that loop's repair (an upper bound: work older than
+    // the mis-speculation survives the recovery). O(1) per cycle.
+    const double exposed = static_cast<double>(pool.inUse());
+    if (branchPort.inFlight() > 0) {
+        *branchLoopOpenCycles += 1;
+        branchLoopOcc->sample(exposed);
+    }
+    if (loadPort.inFlight() > 0) {
+        *loadLoopOpenCycles += 1;
+        loadLoopOcc->sample(exposed);
+    }
+    if (operandPort.inFlight() > 0) {
+        *operandLoopOpenCycles += 1;
+        operandLoopOcc->sample(exposed);
+    }
 }
 
 bool

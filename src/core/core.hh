@@ -41,6 +41,7 @@
 #include "sim/feedback_port.hh"
 #include "sim/simulator.hh"
 #include "stats/statistics.hh"
+#include "trace/loop_trace.hh"
 #include "workload/generator.hh"
 
 namespace loopsim
@@ -200,6 +201,17 @@ class Core : public Clocked, public IntegrityProbe
     /** Retired-instruction timeline (nullptr unless core.timeline>0). */
     const TimelineRecorder *timeline() const { return timelineRec.get(); }
 
+    /**
+     * Drain this run's loop-event trace (empty when trace collection
+     * is off). Events are in simulation order: every feedback delivery
+     * the port read sites observed, with its write-cycle / loop-delay /
+     * consume-cycle stamps.
+     */
+    std::vector<trace::LoopEvent> takeLoopTrace();
+
+    /** Is this core recording loop events? (tests) */
+    bool loopTraceActive() const { return loopTrace != nullptr; }
+
   private:
     /** @name Pipeline event machinery */
     /// @{
@@ -327,6 +339,11 @@ class Core : public Clocked, public IntegrityProbe
     void buildStats();
     bool backendDrained() const;
 
+    /** Per-cycle loop-occupancy sampling (see DESIGN.md §11): for each
+     *  loop with feedback in flight, how much work sits speculatively
+     *  exposed to its repair. */
+    void sampleLoopOccupancy();
+
     /** One-line timeline of @p ref for discipline-violation reports
      *  (empty when the instruction is no longer live). */
     std::string instTimeline(InstRef ref) const;
@@ -362,6 +379,10 @@ class Core : public Clocked, public IntegrityProbe
                                              "dra-operand-miss"};
     /// @}
 
+    /** Loop-event recorder; nullptr unless trace collection is on, so
+     *  untraced runs pay one pointer test per feedback delivery. */
+    std::unique_ptr<trace::RunRecorder> loopTrace;
+
     std::uint64_t fetchStampCounter = 0;
     unsigned clusterCursor = 0;
     unsigned rrFetchCursor = 0;
@@ -393,8 +414,14 @@ class Core : public Clocked, public IntegrityProbe
     stats::Vector *operandSources = nullptr;
     stats::Average *iqOccupancy = nullptr;
     stats::Average *robOccupancy = nullptr;
+    stats::Scalar *branchLoopOpenCycles = nullptr;
+    stats::Scalar *loadLoopOpenCycles = nullptr;
+    stats::Scalar *operandLoopOpenCycles = nullptr;
     stats::Distribution *operandGap = nullptr;
     stats::Distribution *loadLatency = nullptr;
+    stats::Distribution *branchLoopOcc = nullptr;
+    stats::Distribution *loadLoopOcc = nullptr;
+    stats::Distribution *operandLoopOcc = nullptr;
     std::vector<std::pair<const char *, const stats::Stat *>> exported;
     /// @}
 };

@@ -7,7 +7,7 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <iostream>
+#include <sstream>
 
 #include "base/debug.hh"
 #include "base/logging.hh"
@@ -204,16 +204,25 @@ Core::handleOperandMiss(DynInst &inst, InstRef ref, Cycle exec_start,
         if (miss_mask & (1u << i))
             operandSources->add(sourceBin(OperandSource::Miss));
     }
-    if (std::getenv("LOOPSIM_DEBUG_MISS")) {
+    // LOOPSIM_DEBUG_MISS is latched once (this runs per miss, and
+    // getenv is neither cheap nor thread-safe against concurrent
+    // setenv); output goes through debug::emit so parallel campaign
+    // workers cannot interleave mid-line.
+    static const bool debug_miss = [] {
+        return std::getenv("LOOPSIM_DEBUG_MISS") != nullptr; // NOLINT(concurrency-mt-unsafe)
+    }();
+    if (debug_miss) {
         for (unsigned i = 0; i < 2; ++i) {
             if (!(miss_mask & (1u << i)))
                 continue;
-            std::cerr << "[miss] src r" << inst.op.src[i] << " preg "
-                      << inst.physSrc[i] << " produced "
-                      << prf.actualReadyAt(inst.physSrc[i]) << " exec "
-                      << exec_start << " wb "
-                      << prf.writebackAt(inst.physSrc[i]) << " inst "
-                      << inst.op.toString() << "\n";
+            std::ostringstream os;
+            os << "[miss] src r" << inst.op.src[i] << " preg "
+               << inst.physSrc[i] << " produced "
+               << prf.actualReadyAt(inst.physSrc[i]) << " exec "
+               << exec_start << " wb "
+               << prf.writebackAt(inst.physSrc[i]) << " inst "
+               << inst.op.toString();
+            debug::emit(debug::Flag::Dra, exec_start, os.str());
         }
     }
 

@@ -13,9 +13,10 @@
 #include <array>
 #include <cstdint>
 #include <cstdlib>
-#include <iostream>
+#include <sstream>
 #include <vector>
 
+#include "base/debug.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "mem/hierarchy.hh"
@@ -184,8 +185,13 @@ class InstPool
         inst = DynInst{};
         inst.gen = gen;
         inst.state = InstState::Renamed;
-        if (static_cast<int>(idx) == tracedIdx())
-            std::cerr << "[pool " << idx << "] alloc gen " << gen << "\n";
+        if (static_cast<int>(idx) == tracedIdx()) {
+            // Through debug::emit: one write per line, so traces stay
+            // unscrambled under parallel campaigns.
+            std::ostringstream os;
+            os << "[pool " << idx << "] alloc gen " << gen;
+            debug::emit(debug::Flag::Pool, os.str());
+        }
         return InstRef{idx, gen};
     }
 
@@ -196,10 +202,11 @@ class InstPool
         DynInst &inst = get(ref);
         panic_if(inst.state == InstState::Empty, "double release");
         if (static_cast<int>(ref.idx) == tracedIdx()) {
-            std::cerr << "[pool " << ref.idx << "] release gen "
-                      << ref.gen << " op " << inst.op.toString()
-                      << " physDest " << inst.physDest << " state "
-                      << int(inst.state) << "\n";
+            std::ostringstream os;
+            os << "[pool " << ref.idx << "] release gen " << ref.gen
+               << " op " << inst.op.toString() << " physDest "
+               << inst.physDest << " state " << int(inst.state);
+            debug::emit(debug::Flag::Pool, os.str());
         }
         inst.state = InstState::Empty;
         inst.consumers.clear();

@@ -1,8 +1,9 @@
 #include "core/register_file.hh"
 
 #include <cstdlib>
-#include <iostream>
+#include <sstream>
 
+#include "base/debug.hh"
 #include "base/logging.hh"
 
 namespace loopsim
@@ -28,9 +29,13 @@ tracedReg()
 void
 traceReg(PhysReg reg, const char *what, std::uint64_t value)
 {
-    if (static_cast<int>(reg) == tracedReg())
-        std::cerr << "[preg " << reg << "] " << what << " " << value
-                  << "\n";
+    if (static_cast<int>(reg) != tracedReg())
+        return;
+    // Through debug::emit: one write per line, so traces stay
+    // unscrambled under parallel campaigns.
+    std::ostringstream os;
+    os << "[preg " << reg << "] " << what << " " << value;
+    debug::emit(debug::Flag::Reg, os.str());
 }
 
 } // anonymous namespace

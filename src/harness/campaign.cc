@@ -10,12 +10,34 @@
 
 #include "base/logging.hh"
 #include "core/machine_config.hh"
+#include "trace/loop_trace.hh"
 
 namespace loopsim
 {
 
 namespace
 {
+
+/** Merge @p add into @p into by component name (append new names in
+ *  first-seen order, so the merged profile is stable). */
+void
+mergeTickProfile(std::vector<ComponentProfile> &into,
+                 const std::vector<ComponentProfile> &add)
+{
+    for (const ComponentProfile &p : add) {
+        bool merged = false;
+        for (ComponentProfile &q : into) {
+            if (q.name == p.name) {
+                q.ticks += p.ticks;
+                q.seconds += p.seconds;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            into.push_back(p);
+    }
+}
 
 std::mutex telemetryMutex;
 CampaignTelemetry lastTelemetry;
@@ -82,6 +104,7 @@ CampaignTelemetry::accumulate(const CampaignTelemetry &other)
     runs += other.runs;
     failures += other.failures;
     wallSeconds += other.wallSeconds;
+    mergeTickProfile(tickProfile, other.tickProfile);
 }
 
 void
@@ -144,12 +167,30 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
         // loop:exempt(wall-clock telemetry only; never feeds simulated time)
         std::chrono::steady_clock::now() - start;
 
+    // Feed the process-wide trace collector strictly in plan order,
+    // from this (single) thread, after the pool has drained: the
+    // assembled trace is therefore byte-identical at any worker
+    // count, exactly like the figure outputs.
+    if (trace::collectionActive()) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            trace::RunTrace rt;
+            rt.label = !plan.at(i).label.empty()
+                           ? plan.at(i).label
+                           : results[i].workloadLabel + " " +
+                                 results[i].pipeLabel;
+            rt.events = std::move(results[i].loopEvents);
+            trace::collectRun(std::move(rt));
+        }
+    }
+
     CampaignTelemetry t;
     t.jobs = jobs;
     t.runs = plan.size();
     t.wallSeconds = wall.count();
-    for (const RunResult &r : results)
+    for (const RunResult &r : results) {
         t.failures += r.failed ? 1 : 0;
+        mergeTickProfile(t.tickProfile, r.tickProfile);
+    }
 
     {
         std::lock_guard<std::mutex> lock(telemetryMutex);

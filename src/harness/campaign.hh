@@ -82,6 +82,11 @@ struct CampaignTelemetry
     std::size_t runs = 0;
     std::size_t failures = 0;
     double wallSeconds = 0.0;
+    /** Kernel self-profile, merged by component name across runs
+     *  (empty unless tick profiling was on — see
+     *  tickProfilingActive()). Host seconds are summed over all
+     *  workers, so they can exceed wallSeconds under --jobs > 1. */
+    std::vector<ComponentProfile> tickProfile;
 
     double
     runsPerSecond() const

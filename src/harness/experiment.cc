@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -81,7 +82,31 @@ effectiveConfig(const RunSpec &spec)
     return cfg;
 }
 
+/** Kernel self-profiling gate; defaults from LOOPSIM_PROFILE. */
+std::atomic<bool> profilingFlag{false};
+std::atomic<bool> profilingInitialized{false};
+
 } // anonymous namespace
+
+bool
+tickProfilingActive()
+{
+    if (!profilingInitialized.load(std::memory_order_acquire)) {
+        // Benign race: both racers compute the same env-derived value.
+        const char *env = std::getenv("LOOPSIM_PROFILE"); // NOLINT(concurrency-mt-unsafe)
+        profilingFlag.store(env != nullptr && *env != '\0',
+                            std::memory_order_relaxed);
+        profilingInitialized.store(true, std::memory_order_release);
+    }
+    return profilingFlag.load(std::memory_order_relaxed);
+}
+
+void
+setTickProfiling(bool on)
+{
+    profilingInitialized.store(true, std::memory_order_release);
+    profilingFlag.store(on, std::memory_order_relaxed);
+}
 
 void
 setRunOverlay(const Config &overlay)
@@ -187,6 +212,8 @@ runOnce(const RunSpec &spec)
     Core core(cfg, sources);
     Simulator sim;
     sim.add(&core);
+    if (tickProfilingActive())
+        sim.enableProfiling(true);
 
     std::unique_ptr<InvariantWatchdog> watchdog;
     if (cfg.getBool("integrity.watchdog.enable", true)) {
@@ -245,6 +272,12 @@ runOnce(const RunSpec &spec)
     if (const FaultInjector *fi = core.faultInjector())
         res.scalars["faultsInjected"] =
             static_cast<double>(fi->totalInjected());
+
+    // Observability extractions: the loop-event trace (empty unless
+    // collection is on) and the kernel self-profile (profiling only).
+    res.loopEvents = core.takeLoopTrace();
+    if (sim.profilingEnabled())
+        res.tickProfile = sim.profile();
 
     return res;
 }

@@ -14,6 +14,8 @@
 
 #include "base/types.hh"
 #include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "trace/loop_trace.hh"
 #include "workload/workload_set.hh"
 
 namespace loopsim
@@ -65,8 +67,34 @@ struct RunResult
     /** Selected scalar statistics by name (core.<stat>). */
     std::map<std::string, double> scalars;
 
+    /**
+     * This run's loop-event trace, in simulation order (empty unless
+     * trace collection is on — see trace::collectionActive()). The
+     * campaign executor moves these into the process-wide collector in
+     * plan order, keeping assembled traces deterministic at any
+     * --jobs count.
+     */
+    std::vector<trace::LoopEvent> loopEvents;
+
+    /**
+     * Kernel self-profiling: per-component host time spent in tick()
+     * (empty unless tick profiling is on — see tickProfilingActive()).
+     * Wall clock, so NOT deterministic; telemetry only.
+     */
+    std::vector<ComponentProfile> tickProfile;
+
     double scalar(const std::string &name) const;
 };
+
+/**
+ * Process-wide kernel self-profiling toggle. Defaults to whether the
+ * LOOPSIM_PROFILE environment variable is set (latched once); the
+ * bench binaries' --profile flag forces it via setTickProfiling().
+ * When on, every runOnce() times its components' tick() calls and
+ * reports them in RunResult::tickProfile.
+ */
+bool tickProfilingActive();
+void setTickProfiling(bool on);
 
 /**
  * Build the default configuration for figure reproduction: the base

@@ -130,14 +130,16 @@ class FeedbackPort
     }
 
     /**
-     * Reader side: unwrap signal @p id at cycle @p now. In audit mode
-     * the loop discipline is verified first; @p context() is evaluated
-     * only on a violation and should describe the offending
-     * instruction's timeline.
+     * Reader side: unwrap signal @p id at cycle @p now, keeping the
+     * write stamp. The trace layer uses this form so every loop-event
+     * row carries the full geometry (write cycle, declared loop delay,
+     * consume cycle). In audit mode the loop discipline is verified
+     * first; @p context() is evaluated only on a violation and should
+     * describe the offending instruction's timeline.
      */
     template <typename ContextFn>
-    T
-    read(std::uint64_t id, Cycle now, ContextFn &&context)
+    DelayedSignal<T>
+    readStamped(std::uint64_t id, Cycle now, ContextFn &&context)
     {
         DelayedSignal<T> sig = take(id);
         if (audit::enabled() && now < sig.visibleAt()) [[unlikely]] {
@@ -146,7 +148,23 @@ class FeedbackPort
                                      context());
         }
         ++deliveredCount;
-        return std::move(sig.value);
+        return sig;
+    }
+
+    DelayedSignal<T>
+    readStamped(std::uint64_t id, Cycle now)
+    {
+        return readStamped(id, now, [] { return std::string(); });
+    }
+
+    /** Reader side, payload only: the common non-traced unwrap. */
+    template <typename ContextFn>
+    T
+    read(std::uint64_t id, Cycle now, ContextFn &&context)
+    {
+        return std::move(
+            readStamped(id, now, std::forward<ContextFn>(context))
+                .value);
     }
 
     T

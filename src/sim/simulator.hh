@@ -18,6 +18,7 @@
 #ifndef LOOPSIM_SIM_SIMULATOR_HH
 #define LOOPSIM_SIM_SIMULATOR_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,19 @@ class Clocked
 
     /** Human-readable identity for error messages. */
     virtual std::string name() const { return "clocked"; }
+};
+
+/**
+ * Kernel self-profiling result: where the host's time went for one
+ * registered component. Wall-clock only — the numbers describe the
+ * simulator, never the simulated machine, and cannot feed back into
+ * simulated time.
+ */
+struct ComponentProfile
+{
+    std::string name;         ///< Clocked::name() at profiling time
+    std::uint64_t ticks = 0;  ///< tick() invocations measured
+    double seconds = 0.0;     ///< host seconds spent inside tick()
 };
 
 /** The global clock driver. */
@@ -66,10 +80,26 @@ class Simulator
     /** True iff the last run() ended because of the cycle limit. */
     bool hitCycleLimit() const { return cycleLimited; }
 
+    /**
+     * Opt-in kernel self-profiling: when enabled, run() times every
+     * component's tick() with the host's monotonic clock. Off by
+     * default — the unprofiled loop carries no timing calls at all.
+     */
+    void enableProfiling(bool on);
+    bool profilingEnabled() const { return profiling; }
+
+    /** Per-component host-time totals accumulated while profiling. */
+    std::vector<ComponentProfile> profile() const;
+
   private:
+    void tickAllProfiled();
+
     std::vector<Clocked *> components;
     Cycle currentCycle = 0;
     bool cycleLimited = false;
+    bool profiling = false;
+    std::vector<std::uint64_t> tickCounts;
+    std::vector<double> tickSeconds;
 };
 
 } // namespace loopsim

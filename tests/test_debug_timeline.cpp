@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/debug.hh"
+#include "core/dyn_inst.hh"
+#include "core/timeline.hh"
 #include "core_test_util.hh"
 
 using namespace loopsim;
@@ -155,4 +158,55 @@ TEST(Timeline, EmptyPrintIsSafe)
     rec.print(os);
     EXPECT_NE(os.str().find("empty"), std::string::npos);
     EXPECT_THROW(TimelineRecorder(0), FatalError);
+}
+
+TEST(Timeline, EmptyPrintTableIsHeaderOnly)
+{
+    TimelineRecorder rec(4);
+    std::ostringstream os;
+    rec.printTable(os);
+    const std::string table = os.str();
+    // Header row only: no entry lines follow it.
+    EXPECT_NE(table.find("seq"), std::string::npos);
+    EXPECT_NE(table.find("fetch"), std::string::npos);
+    EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 1);
+}
+
+TEST(Timeline, RingNeverExceedsCapacityWhileRecording)
+{
+    TimelineRecorder rec(5);
+    EXPECT_EQ(rec.capacity(), 5u);
+    DynInst inst;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+        inst.op.seq = i;
+        inst.fetchCycle = i;
+        rec.record(inst, i + 10);
+        EXPECT_LE(rec.entries().size(), 5u);
+        EXPECT_EQ(rec.entries().back().seq, i);
+    }
+    // The survivors are exactly the newest five, oldest first.
+    ASSERT_EQ(rec.entries().size(), 5u);
+    EXPECT_EQ(rec.entries().front().seq, 7u);
+}
+
+TEST(Timeline, ReissueMarkRendersInTheGantt)
+{
+    Config cfg;
+    cfg.setUint("core.timeline", 32);
+    std::vector<MicroOp> ops;
+    ops.push_back(alu(1));
+    ops.push_back(store(1, 1, 0x5000000));
+    for (int i = 0; i < 12; ++i)
+        ops.push_back(alu(1, 1));
+    ops.push_back(load(2, 1, 0x5000000 + 256)); // L1 miss
+    ops.push_back(alu(3, 2)); // killed + reissued consumer
+    auto h = makeHarness(ops, cfg);
+    h.run();
+
+    std::ostringstream os;
+    h.core->timeline()->print(os);
+    // The reissued consumer's last issue renders as 'I' (first issue
+    // stays lowercase 'i').
+    EXPECT_NE(os.str().find('I'), std::string::npos);
+    EXPECT_NE(os.str().find('i'), std::string::npos);
 }

@@ -17,4 +17,11 @@ void chattyStageC(int ipc)
     printf("ipc=%d\n", ipc);
 }
 
+void chattyTraceHook(int slot)
+{
+    // Raw cerr interleaves mid-line under parallel campaigns; trace
+    // hooks must go through debug::emit instead.
+    std::cerr << "[pool " << slot << "] alloc\n";
+}
+
 } // namespace loopsim_fixture

@@ -22,10 +22,14 @@ shapes that would let a refactor sneak around that layer:
                     reproducible from their seeds; the only sanctioned
                     randomness is the seeded PCG in base/random.
 
-  bare-output       std::cout / printf() outside base/logging. All
+  bare-output       std::cout / printf() outside base/logging, and raw
+                    std::cerr outside base/logging + base/debug. All
                     user-facing output goes through the logging layer
                     (or an ostream parameter the caller controls) so
-                    quiet mode and report capture keep working.
+                    quiet mode and report capture keep working; debug
+                    traces go through debug::emit, whose
+                    one-write-per-line discipline keeps them
+                    unscrambled under parallel campaigns.
 
 A finding is waived by annotating the offending line (or the line
 directly above it) with `// loop:exempt(<reason>)`. The reason is
@@ -54,7 +58,8 @@ FEEDBACK_EVENT_RE = re.compile(
     r"TlbTrap|OrderTrap|PayloadDelivery)\b")
 SIGNAL_STRUCT_RE = re.compile(
     r"\b(BranchResolveMsg|LoadResolveMsg|OperandMissMsg)\s*\{")
-PORT_CALL_RE = re.compile(r"\.\s*(send|read)\s*\(|Port\.(send|read)\b")
+PORT_CALL_RE = re.compile(
+    r"\.\s*(send|read|readStamped)\s*\(|Port\.(send|read|readStamped)\b")
 # A port call within this many lines of the event/struct use counts as
 # "the signal goes through the port".
 PORT_PROXIMITY = 15
@@ -75,11 +80,15 @@ DETERMINISM_RES = [
 DETERMINISM_ALLOWED = ("base/random.hh", "base/random.cc")
 
 # --- bare-output -----------------------------------------------------
-OUTPUT_RES = [
-    (re.compile(r"\bstd::cout\b"), "std::cout"),
-    (re.compile(r"\b(std::)?printf\s*\("), "printf()"),
-]
 OUTPUT_ALLOWED = ("base/logging.hh", "base/logging.cc")
+# std::cerr is additionally sanctioned in base/debug.cc: debug::emit is
+# the single-write line sink the raw-cerr ban funnels everyone toward.
+CERR_ALLOWED = OUTPUT_ALLOWED + ("base/debug.cc",)
+OUTPUT_RES = [
+    (re.compile(r"\bstd::cout\b"), "std::cout", OUTPUT_ALLOWED),
+    (re.compile(r"\b(std::)?printf\s*\("), "printf()", OUTPUT_ALLOWED),
+    (re.compile(r"\bstd::cerr\b"), "std::cerr", CERR_ALLOWED),
+]
 
 
 class Finding:
@@ -155,14 +164,15 @@ def lint_file(path, display, findings):
                         f"reproducible from their seeds (use the "
                         f"seeded base/random PCG)"))
 
-        if display not in OUTPUT_ALLOWED:
-            for pattern, name in OUTPUT_RES:
-                if pattern.search(line) and not is_exempt(raw_lines, i):
-                    findings.append(Finding(
-                        display, i + 1, "bare-output",
-                        f"{name} outside base/logging: route output "
-                        f"through the logging layer or an ostream "
-                        f"parameter"))
+        for pattern, name, allowed in OUTPUT_RES:
+            if display in allowed:
+                continue
+            if pattern.search(line) and not is_exempt(raw_lines, i):
+                findings.append(Finding(
+                    display, i + 1, "bare-output",
+                    f"{name} outside its sanctioned files: route "
+                    f"output through the logging layer, debug::emit, "
+                    f"or an ostream parameter"))
 
 
 def lint_tree(root):
@@ -185,7 +195,7 @@ def self_test(fixture_root):
     expected = {
         "feedback-bypass": 3,  # event schedule, case label, struct
         "determinism": 4,      # rand, srand, time, clock::now
-        "bare-output": 2,      # std::cout, printf
+        "bare-output": 3,      # std::cout, printf, std::cerr
     }
     for rule, count in expected.items():
         got = len(by_rule.get(rule, []))

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Perf smoke test: the trace layer must be observably free.
+
+Runs one small figure campaign twice — once plain, once with
+`--trace` — and asserts:
+
+  1. the figure output is byte-identical with and without tracing
+     (recording must not perturb the simulation),
+  2. the traced run's runs/sec is within a (generous) noise bound of
+     the untraced run's (the layer's overhead claim from DESIGN.md
+     §11: one pointer test per feedback delivery when off, one
+     push_back per delivery when on),
+  3. the emitted file is schema-valid Chrome trace JSON in which every
+     span satisfies write_cycle + loop_delay == consume_cycle and all
+     three of the paper's loops appear.
+
+CI runs this as the perf-smoke job and uploads the trace as an
+artifact; locally:
+
+    python3 tools/perf_smoke.py --bench build/bench/fig8_dra_speedup
+
+Exit status: 0 on success, 1 on any failed assertion, 2 on usage or
+subprocess errors.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+LOOP_KINDS = ("branch-loop", "load-loop", "operand-loop")
+
+
+def run_bench(bench, ops, jobs, bench_json, extra_args):
+    cmd = [str(bench), str(ops), "--jobs", str(jobs)] + extra_args
+    env = dict(os.environ)
+    env["LOOPSIM_BENCH_JSON"] = str(bench_json)
+    env.pop("LOOPSIM_TRACE", None)
+    env.pop("LOOPSIM_PROFILE", None)
+    try:
+        proc = subprocess.run(cmd, env=env, capture_output=True,
+                              text=True, check=True)
+    except OSError as err:
+        print(f"perf_smoke: cannot run {cmd[0]}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    except subprocess.CalledProcessError as err:
+        print(f"perf_smoke: {' '.join(cmd)} exited {err.returncode}\n"
+              f"{err.stderr}", file=sys.stderr)
+        sys.exit(2)
+    return proc.stdout
+
+
+def last_entry(bench_json):
+    entries = json.loads(Path(bench_json).read_text())
+    if not isinstance(entries, list) or not entries:
+        print(f"perf_smoke: no campaign entries in {bench_json}",
+              file=sys.stderr)
+        sys.exit(1)
+    return entries[-1]
+
+
+def check_trace(path, failures):
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        failures.append(f"trace file {path} is not valid JSON: {err}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        failures.append("trace has no traceEvents array")
+        return
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        failures.append("trace contains no loop-event spans")
+        return
+    seen_kinds = set()
+    for e in spans:
+        args = e.get("args", {})
+        write = args.get("write_cycle")
+        delay = args.get("loop_delay")
+        consume = args.get("consume_cycle")
+        if write is None or delay is None or consume is None:
+            failures.append(f"span missing loop geometry: {e}")
+            break
+        if write + delay != consume:
+            failures.append(
+                f"dishonest stamp: write {write} + delay {delay} != "
+                f"consume {consume} in {e.get('name')}")
+            break
+        if e.get("ts") != write or e.get("dur") != delay:
+            failures.append(
+                f"span ts/dur disagree with args in {e.get('name')}")
+            break
+        seen_kinds.add(e.get("cat"))
+    missing = [k for k in LOOP_KINDS if k not in seen_kinds]
+    if missing:
+        failures.append(
+            f"trace is missing loop kind(s): {', '.join(missing)} "
+            f"(saw {sorted(seen_kinds)})")
+    print(f"perf_smoke: trace OK — {len(spans)} spans across "
+          f"{sorted(seen_kinds)}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="trace-layer perf smoke test")
+    parser.add_argument(
+        "--bench", type=Path,
+        default=Path("build/bench/fig8_dra_speedup"),
+        help="figure binary to drive (default: fig8)")
+    parser.add_argument(
+        "--ops", type=int, default=3000,
+        help="correct-path ops per run (small: this is a smoke test)")
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="campaign worker count")
+    parser.add_argument(
+        "--trace-out", type=Path, default=Path("perf_smoke_trace.json"),
+        help="where the traced run writes its trace")
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.5,
+        help="traced runs/sec must be at least this fraction of "
+             "untraced (generous: CI machines are noisy)")
+    args = parser.parse_args(argv)
+
+    if not args.bench.exists():
+        print(f"perf_smoke: no such bench binary: {args.bench} "
+              f"(build the project first)", file=sys.stderr)
+        return 2
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        plain_json = Path(tmp) / "plain.json"
+        traced_json = Path(tmp) / "traced.json"
+
+        plain_out = run_bench(args.bench, args.ops, args.jobs,
+                              plain_json, [])
+        traced_out = run_bench(args.bench, args.ops, args.jobs,
+                               traced_json,
+                               ["--trace", str(args.trace_out)])
+
+        if plain_out != traced_out:
+            failures.append(
+                "figure output differs with tracing enabled — "
+                "recording perturbed the simulation")
+
+        plain = last_entry(plain_json)
+        traced = last_entry(traced_json)
+        for entry in (plain, traced):
+            if entry.get("failures", 0):
+                failures.append(
+                    f"campaign reported {entry['failures']} failed "
+                    f"run(s) in {entry.get('bench')}")
+        plain_rps = plain.get("runs_per_s", 0.0)
+        traced_rps = traced.get("runs_per_s", 0.0)
+        print(f"perf_smoke: untraced {plain_rps:.2f} runs/s, "
+              f"traced {traced_rps:.2f} runs/s")
+        if plain_rps <= 0.0 or traced_rps <= 0.0:
+            failures.append("campaign telemetry reported zero runs/sec")
+        elif traced_rps < args.min_ratio * plain_rps:
+            failures.append(
+                f"tracing slowed the campaign beyond noise: "
+                f"{traced_rps:.2f} < {args.min_ratio} * "
+                f"{plain_rps:.2f} runs/s")
+
+        check_trace(args.trace_out, failures)
+
+    if failures:
+        for f in failures:
+            print(f"perf_smoke FAILED: {f}", file=sys.stderr)
+        return 1
+    print("perf_smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
