@@ -3,13 +3,16 @@
  * Shared helpers for the figure-reproduction bench binaries.
  *
  * Common CLI surface: `<bench> [OPS] [--jobs N] [--csv] [--trace PATH]
- * [--profile]` in any argument order, plus the LOOPSIM_BENCH_OPS,
- * LOOPSIM_JOBS, LOOPSIM_TRACE and LOOPSIM_PROFILE environment
- * variables. Every binary records campaign telemetry (wall clock,
- * runs/sec, and the kernel tick profile when --profile is on) into
- * BENCH_campaign.json on exit; --trace additionally writes the
- * campaign's loop-event trace (Chrome JSON, or CSV for *.csv paths —
- * see src/trace/loop_trace.hh and DESIGN.md §11).
+ * [--profile] [--store DIR]` in any argument order, plus the
+ * LOOPSIM_BENCH_OPS, LOOPSIM_JOBS, LOOPSIM_TRACE, LOOPSIM_PROFILE and
+ * LOOPSIM_STORE environment variables. Every binary records campaign
+ * telemetry (wall clock, runs/sec, cache activity, and the kernel
+ * tick profile when --profile is on) into BENCH_campaign.json on
+ * exit; --trace additionally writes the campaign's loop-event trace
+ * (Chrome JSON, or CSV for *.csv paths — see src/trace/loop_trace.hh
+ * and DESIGN.md §11); --store points the persistent result store at a
+ * directory, so reruns replay cached cells instead of simulating
+ * (src/store/, DESIGN.md §12).
  */
 
 #ifndef LOOPSIM_BENCH_BENCH_UTIL_HH
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "harness/campaign.hh"
+#include "store/result_store.hh"
 #include "trace/loop_trace.hh"
 
 namespace loopsim::benchutil
@@ -52,7 +56,8 @@ parseCount(const std::string &text, const char *what)
 inline bool
 flagTakesValue(const std::string &flag)
 {
-    return flag == "--jobs" || flag == "-j" || flag == "--trace";
+    return flag == "--jobs" || flag == "-j" || flag == "--trace" ||
+           flag == "--store";
 }
 
 /** Value of a `--flag V` / `--flag=V` option, or "" when absent. */
@@ -177,6 +182,26 @@ benchProfile(int argc, char **argv)
            tickProfilingActive();
 }
 
+/**
+ * Persistent result-store directory: `--store DIR` / `--store=DIR`,
+ * else the LOOPSIM_STORE environment variable; "" when the store is
+ * off. A `--store` with a missing or empty path is a usage error
+ * (exit 2) rather than a silently disabled cache.
+ */
+inline std::string
+benchStore(int argc, char **argv)
+{
+    bool present = detail::hasFlag(argc, argv, "--store");
+    std::string path = detail::flagValue(argc, argv, "--store");
+    if (path.empty() && (present || detail::hasFlag(argc, argv,
+                                                    "--store="))) {
+        std::fprintf(stderr, "--store needs a directory path "
+                     "(usage: --store DIR or --store=DIR)\n");
+        std::exit(2);
+    }
+    return !path.empty() ? path : store::storePath();
+}
+
 /** Workloads used by ablation benches (a representative subset). */
 inline std::vector<std::string>
 ablationWorkloads()
@@ -212,6 +237,9 @@ class CampaignRecorder
         }
         if (benchProfile(argc, argv))
             setTickProfiling(true);
+        std::string store_dir = benchStore(argc, argv);
+        if (!store_dir.empty())
+            store::setStorePath(store_dir);
     }
 
     ~CampaignRecorder()
@@ -225,9 +253,18 @@ class CampaignRecorder
               << ", \"jobs\": " << t.jobs
               << ", \"runs\": " << t.runs
               << ", \"failures\": " << t.failures
+              << ", \"simulated\": " << t.simulated
               << ", \"campaign_wall_s\": " << t.wallSeconds
               << ", \"runs_per_s\": " << t.runsPerSecond()
-              << ", \"process_wall_s\": " << wall.count();
+              << ", \"process_wall_s\": " << wall.count()
+              << ", \"store\": {\"dir\": \"" << store::storePath()
+              << "\", \"memo_hits\": " << t.memoHits
+              << ", \"hits\": " << t.store.hits
+              << ", \"misses\": " << t.store.misses
+              << ", \"inserts\": " << t.store.inserts
+              << ", \"crc_rejects\": " << t.store.crcRejects
+              << ", \"bytes_read\": " << t.store.bytesRead
+              << ", \"bytes_written\": " << t.store.bytesWritten << "}";
         if (!t.tickProfile.empty()) {
             entry << ", \"tick_profile\": [";
             for (std::size_t i = 0; i < t.tickProfile.size(); ++i) {

@@ -62,7 +62,7 @@ main()
     {
         std::vector<MicroOp> ops;
         ops.push_back(alu(1));
-        ops.push_back(store(1, 1, 0x7000000)); // warm page, one line
+        ops.push_back(storeOp(1, 1, 0x7000000)); // warm page, one line
         ops.push_back(alu(1, 1));
         for (int i = 0; i < 11; ++i)
             ops.push_back(alu(1, 1)); // hold the load behind the store

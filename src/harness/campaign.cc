@@ -8,8 +8,11 @@
 #include <mutex>
 #include <thread>
 
+#include <map>
+
 #include "base/logging.hh"
 #include "core/machine_config.hh"
+#include "store/fingerprint.hh"
 #include "trace/loop_trace.hh"
 
 namespace loopsim
@@ -95,6 +98,20 @@ runCell(const PlannedRun &cell, const RetryPolicy &policy)
     }
 }
 
+/** Per-campaign store activity: counters after minus counters before. */
+store::StoreStats
+storeDelta(const store::StoreStats &after, const store::StoreStats &before)
+{
+    store::StoreStats d;
+    d.hits = after.hits - before.hits;
+    d.misses = after.misses - before.misses;
+    d.inserts = after.inserts - before.inserts;
+    d.crcRejects = after.crcRejects - before.crcRejects;
+    d.bytesRead = after.bytesRead - before.bytesRead;
+    d.bytesWritten = after.bytesWritten - before.bytesWritten;
+    return d;
+}
+
 } // anonymous namespace
 
 void
@@ -103,6 +120,9 @@ CampaignTelemetry::accumulate(const CampaignTelemetry &other)
     jobs = std::max(jobs, other.jobs);
     runs += other.runs;
     failures += other.failures;
+    simulated += other.simulated;
+    memoHits += other.memoHits;
+    store.accumulate(other.store);
     wallSeconds += other.wallSeconds;
     mergeTickProfile(tickProfile, other.tickProfile);
 }
@@ -137,30 +157,109 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
     auto start = std::chrono::steady_clock::now();
     std::vector<RunResult> results(plan.size());
 
-    if (jobs <= 1) {
+    // Lookup-before-simulate. Trace collection needs the loop events
+    // only a real execution produces, so while it is on every cell
+    // simulates and neither cache is consulted (fresh results are not
+    // inserted either: their cached form would be indistinguishable
+    // from a non-traced run's, but skipping keeps the traced path
+    // completely inert). Otherwise each cell is answered by the
+    // in-process memo, then the persistent store, and only the
+    // remaining misses reach the worker pool. `pending` holds miss
+    // plan indices in plan order; `dupOf[i]` marks a cell whose
+    // fingerprint already appeared earlier in this plan, which waits
+    // for that first occurrence instead of simulating again.
+    const bool memoize = !trace::collectionActive();
+    store::ResultStore *pstore = memoize ? store::processStore() : nullptr;
+    const store::StoreStats storeBefore =
+        pstore ? pstore->stats() : store::StoreStats{};
+
+    constexpr std::size_t kNotDup = static_cast<std::size_t>(-1);
+    std::vector<store::Fingerprint> fps(plan.size());
+    std::vector<std::size_t> dupOf(plan.size(), kNotDup);
+    std::vector<std::size_t> pending;
+    std::size_t memoHits = 0;
+
+    if (memoize) {
+        std::map<store::Fingerprint, std::size_t> firstMiss;
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            fps[i] = store::fingerprintRun(plan.at(i).spec, policy);
+            if (auto hit = store::processMemo().lookup(fps[i])) {
+                results[i] = std::move(*hit);
+                ++memoHits;
+                continue;
+            }
+            if (pstore) {
+                if (auto hit = pstore->lookup(fps[i])) {
+                    store::processMemo().insert(fps[i], *hit);
+                    results[i] = std::move(*hit);
+                    continue;
+                }
+            }
+            auto [it, fresh] = firstMiss.emplace(fps[i], i);
+            if (!fresh) {
+                dupOf[i] = it->second;
+                ++memoHits;
+                continue;
+            }
+            pending.push_back(i);
+        }
+    } else {
+        pending.resize(plan.size());
         for (std::size_t i = 0; i < plan.size(); ++i)
+            pending[i] = i;
+    }
+
+    const unsigned workers_wanted = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, std::max<std::size_t>(
+                                        pending.size(), 1)));
+    if (workers_wanted <= 1) {
+        for (std::size_t i : pending)
             results[i] = runCell(plan.at(i), policy);
     } else {
         // Work-stealing by atomic cursor: each worker claims the next
-        // unclaimed plan index and writes its result slot. Slots are
-        // disjoint, so results need no lock; ordering is by plan index
-        // regardless of which worker finishes when.
+        // unclaimed pending entry and writes its result slot. Slots
+        // are disjoint, so results need no lock; ordering is by plan
+        // index regardless of which worker finishes when.
         std::atomic<std::size_t> cursor{0};
         {
             std::vector<std::jthread> workers;
-            workers.reserve(jobs);
-            for (unsigned t = 0; t < jobs; ++t) {
+            workers.reserve(workers_wanted);
+            for (unsigned t = 0; t < workers_wanted; ++t) {
                 workers.emplace_back([&] {
                     for (;;) {
-                        std::size_t i = cursor.fetch_add(
+                        std::size_t k = cursor.fetch_add(
                             1, std::memory_order_relaxed);
-                        if (i >= plan.size())
+                        if (k >= pending.size())
                             return;
+                        std::size_t i = pending[k];
                         results[i] = runCell(plan.at(i), policy);
                     }
                 });
             }
         } // jthread joins here
+    }
+
+    if (memoize) {
+        // Publish fresh results: every simulated cell enters the memo
+        // (failures included — a wedge is deterministic within this
+        // process), but only healthy results are persisted, so a
+        // future epoch or widened budget gets to retry failures.
+        for (std::size_t i : pending) {
+            store::processMemo().insert(fps[i], results[i]);
+            if (pstore && !results[i].failed)
+                pstore->insert(fps[i], results[i]);
+        }
+        // Duplicate plan points copy through the memo so they carry
+        // exactly what a memo hit would (no tick profile: the host
+        // time was already attributed to the first occurrence).
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            if (dupOf[i] == kNotDup)
+                continue;
+            if (auto hit = store::processMemo().lookup(fps[i]))
+                results[i] = std::move(*hit);
+            else
+                results[i] = results[dupOf[i]];
+        }
     }
 
     std::chrono::duration<double> wall =
@@ -186,6 +285,10 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
     CampaignTelemetry t;
     t.jobs = jobs;
     t.runs = plan.size();
+    t.simulated = pending.size();
+    t.memoHits = memoHits;
+    if (pstore)
+        t.store = storeDelta(pstore->stats(), storeBefore);
     t.wallSeconds = wall.count();
     for (const RunResult &r : results) {
         t.failures += r.failed ? 1 : 0;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "store/result_store.hh"
 
 namespace loopsim
 {
@@ -81,6 +82,16 @@ struct CampaignTelemetry
     unsigned jobs = 1;
     std::size_t runs = 0;
     std::size_t failures = 0;
+    /** Cells that actually ran the simulator: runs minus every memo
+     *  and store hit. A fully warm rerun reports 0 here. */
+    std::size_t simulated = 0;
+    /** Cells answered by the in-process memo, including duplicate
+     *  plan points deduplicated within this campaign. */
+    std::size_t memoHits = 0;
+    /** Persistent-store activity attributable to this campaign
+     *  (hits/misses/inserts/CRC rejects/bytes; all zero when no store
+     *  directory is configured). */
+    store::StoreStats store;
     double wallSeconds = 0.0;
     /** Kernel self-profile, merged by component name across runs
      *  (empty unless tick profiling was on — see
@@ -119,6 +130,16 @@ unsigned campaignJobs();
  * plan order. @p jobs 0 means campaignJobs(); the pool never spawns
  * more workers than cells. @p policy is forwarded to
  * runOnceResilient() (per-run integrity.retry.* keys still win).
+ *
+ * Lookup-before-simulate: unless loop-event trace collection is on
+ * (traces must come from real executions), every cell is first looked
+ * up by fingerprint in the in-process memo and then in the persistent
+ * store (store/result_store.hh, when --store/LOOPSIM_STORE names a
+ * directory). Hits are replayed into the results in plan order —
+ * output stays byte-identical to a cold serial sweep at any job
+ * count — and only the misses go to the worker pool; fresh results
+ * are inserted back. Duplicate plan points within one campaign
+ * simulate once.
  */
 std::vector<RunResult> runCampaign(const CampaignPlan &plan,
                                    const RetryPolicy &policy = {},

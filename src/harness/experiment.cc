@@ -122,6 +122,12 @@ clearRunOverlay()
     runOverlayLocked() = Config{};
 }
 
+Config
+effectiveRunConfig(const RunSpec &spec)
+{
+    return effectiveConfig(spec);
+}
+
 double
 RunResult::scalar(const std::string &name) const
 {

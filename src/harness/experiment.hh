@@ -144,6 +144,15 @@ void setBasePipeline(Config &cfg, unsigned regfile_latency);
 RunResult runOnce(const RunSpec &spec);
 
 /**
+ * The configuration runOnce() would resolve for @p spec right now:
+ * defaults < spec.overrides < LOOPSIM_OVERLAY < the programmatic
+ * overlay, as one flat Config. The result store fingerprints this
+ * (store/fingerprint.hh), so a run's cache key reflects the overlays
+ * in force at plan time, not just the spec.
+ */
+Config effectiveRunConfig(const RunSpec &spec);
+
+/**
  * Install / clear the process-wide configuration overlay.
  *
  * Thread-safety contract: both calls take the same mutex the run path

@@ -159,4 +159,23 @@ Config::overlay(const Config &other)
         values[k] = v;
 }
 
+const std::map<std::string, std::string> &
+Config::entries() const
+{
+    return values;
+}
+
+std::string
+Config::canonicalText() const
+{
+    std::string out;
+    for (const auto &[k, v] : values) {
+        out += k;
+        out += " = ";
+        out += v;
+        out += "\n";
+    }
+    return out;
+}
+
 } // namespace loopsim

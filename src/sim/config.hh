@@ -63,6 +63,18 @@ class Config
     /** Merge @p other on top of this config (other wins). */
     void overlay(const Config &other);
 
+    /**
+     * All explicitly-set keys with their raw values, in sorted key
+     * order. This is the store's fingerprint canonicalization: a fully
+     * overlaid Config exposes one flat sorted map, so the hash cannot
+     * depend on how the same assignments were spread across overlays.
+     */
+    const std::map<std::string, std::string> &entries() const;
+
+    /** entries() rendered one "key = value" per line (debugging, and
+     *  the store CLI's record provenance dump). */
+    std::string canonicalText() const;
+
   private:
     std::map<std::string, std::string> values;
     mutable std::map<std::string, std::string> effective;

@@ -1,0 +1,219 @@
+#include "store/fingerprint.hh"
+
+#include <bit>
+#include <cstddef>
+
+#include "harness/experiment.hh"
+#include "sim/config.hh"
+#include "workload/profile.hh"
+#include "workload/workload_set.hh"
+
+namespace loopsim::store
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+/** Lane seeds: the standard FNV-1a offset basis and a second basis
+ *  (the first, remixed) so the two 64-bit lanes are independent. */
+constexpr std::uint64_t kBasisA = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kBasisB = 0x9ae16a3b2f90404full;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const unsigned char *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void
+hexU64(std::uint64_t v, std::string &out)
+{
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(kHexDigits[(v >> shift) & 0xf]);
+}
+
+/** Hash every result-shaping field of one thread's profile. */
+void
+hashProfile(Hasher &h, const BenchmarkProfile &p)
+{
+    h.str("prof.name", p.name);
+    h.flag("prof.fp", p.floatingPoint);
+
+    h.f64("mix.cond_branch", p.condBranchFrac);
+    h.f64("mix.uncond_branch", p.uncondBranchFrac);
+    h.f64("mix.load", p.loadFrac);
+    h.f64("mix.store", p.storeFrac);
+    h.f64("mix.int_mult", p.intMultFrac);
+    h.f64("mix.fp_add", p.fpAddFrac);
+    h.f64("mix.fp_mult", p.fpMultFrac);
+    h.f64("mix.fp_div", p.fpDivFrac);
+    h.f64("mix.nop", p.nopFrac);
+    h.f64("mix.barrier", p.barrierFrac);
+
+    h.f64("ctl.mispredict", p.mispredictRate);
+    h.f64("ctl.uncond_mispredict", p.uncondMispredictRate);
+    h.u64("ctl.static_branches", p.numStaticBranches);
+    h.f64("ctl.taken_bias", p.takenBias);
+
+    h.u64("mem.hot_bytes", p.hotBytes);
+    h.u64("mem.l2_bytes", p.l2Bytes);
+    h.f64("mem.l2_frac", p.l2ResidentFrac);
+    h.f64("mem.far_frac", p.farFrac);
+    h.u64("mem.far_stride", p.farStrideBytes);
+
+    h.u64("dep.weights", p.depDistWeights.size());
+    for (double w : p.depDistWeights)
+        h.f64("dep.w", w);
+    h.f64("dep.serial_chain", p.serialChainFrac);
+    h.f64("dep.long_lived", p.longLivedSrcFrac);
+    h.f64("dep.hot_src", p.hotSrcFrac);
+    h.u64("dep.hot_regs", p.hotRegCount);
+    h.u64("dep.hot_period", p.hotWritePeriod);
+    h.f64("dep.second_src", p.secondSrcFrac);
+
+    h.u64("prof.code_loop", p.codeLoopLength);
+    h.u64("prof.seed", p.seed);
+}
+
+} // anonymous namespace
+
+std::string
+Fingerprint::hex() const
+{
+    std::string out;
+    out.reserve(32);
+    hexU64(hi, out);
+    hexU64(lo, out);
+    return out;
+}
+
+bool
+Fingerprint::parse(std::string_view text, Fingerprint &out)
+{
+    if (text.size() != 32)
+        return false;
+    std::uint64_t parts[2] = {0, 0};
+    for (std::size_t i = 0; i < 32; ++i) {
+        char c = text[i];
+        std::uint64_t nibble = 0;
+        if (c >= '0' && c <= '9')
+            nibble = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        parts[i / 16] = (parts[i / 16] << 4) | nibble;
+    }
+    out.hi = parts[0];
+    out.lo = parts[1];
+    return true;
+}
+
+Hasher::Hasher() : a(kBasisA), b(kBasisB) {}
+
+void
+Hasher::bytes(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    a = fnv1a(a, p, n);
+    b = fnv1a(b, p, n);
+}
+
+void
+Hasher::tag(std::string_view name)
+{
+    // Length-prefix the tag so adjacent fields can never alias.
+    std::uint64_t len = name.size();
+    bytes(&len, sizeof(len));
+    bytes(name.data(), name.size());
+}
+
+void
+Hasher::str(std::string_view name, std::string_view v)
+{
+    tag(name);
+    std::uint64_t len = v.size();
+    bytes(&len, sizeof(len));
+    bytes(v.data(), v.size());
+}
+
+void
+Hasher::u64(std::string_view name, std::uint64_t v)
+{
+    tag(name);
+    bytes(&v, sizeof(v));
+}
+
+void
+Hasher::f64(std::string_view name, double v)
+{
+    u64(name, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+Hasher::flag(std::string_view name, bool v)
+{
+    u64(name, v ? 1 : 0);
+}
+
+Fingerprint
+Hasher::digest() const
+{
+    // Final avalanche (splitmix64) so short inputs still spread over
+    // the whole 128 bits; the raw FNV state is weak in its low bits.
+    auto mix = [](std::uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    };
+    return Fingerprint{mix(a), mix(b ^ a)};
+}
+
+Fingerprint
+fingerprintRun(const RunSpec &spec, const RetryPolicy &policy)
+{
+    Hasher h;
+    h.u64("store.schema", kSchemaVersion);
+    h.u64("store.epoch", kModelEpoch);
+
+    // The fully-resolved configuration: defaults < spec overrides <
+    // env overlay < programmatic overlay, exactly what runOnce() will
+    // see. Config stores keys sorted, so how the caller spread the
+    // same assignments across overrides and overlays cannot change
+    // the hash.
+    const Config cfg = effectiveRunConfig(spec);
+    const auto &entries = cfg.entries();
+    h.u64("cfg.count", entries.size());
+    for (const auto &[key, value] : entries)
+        h.str(key, value);
+
+    h.str("workload.label", spec.workload.label);
+    h.u64("workload.threads", spec.workload.threads.size());
+    for (const BenchmarkProfile &p : spec.workload.threads)
+        hashProfile(h, p);
+
+    h.u64("spec.total_ops", spec.totalOps);
+    h.u64("spec.warmup_ops", spec.warmupOps);
+    h.u64("spec.max_cycles", spec.maxCycles);
+
+    // The retry policy perturbs seeds and budgets on failure, so two
+    // campaigns with different policies can legitimately disagree on
+    // a wedge-prone cell. (Per-run integrity.retry.* keys are already
+    // in the config hash above.)
+    h.u64("retry.attempts", policy.attempts);
+    h.f64("retry.budget_growth", policy.budgetGrowth);
+    h.u64("retry.seed_stride", policy.seedStride);
+    h.flag("retry.fail_soft", policy.failSoft);
+
+    return h.digest();
+}
+
+} // namespace loopsim::store

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Canonical run fingerprints for the persistent result store.
+ *
+ * A fingerprint is a 128-bit content hash over *everything a run's
+ * results are a function of*: the fully-resolved configuration
+ * (defaults, spec overrides, LOOPSIM_OVERLAY and the programmatic
+ * overlay, all already merged — so it is permutation-independent by
+ * construction), every field of every thread's BenchmarkProfile
+ * (seeds included), the op/warmup/cycle budgets, the effective retry
+ * policy (retries perturb seeds, so they shape results), and two
+ * constants: the record schema version and a model epoch that is
+ * bumped whenever a simulator change alters results without any
+ * configuration key changing. PR 2 made runs byte-identical functions
+ * of exactly these inputs, which is what makes the fingerprint a
+ * sound memoization key.
+ *
+ * Doubles are hashed by bit pattern, never by formatting, so a
+ * fingerprint is stable across locales and print precision.
+ */
+
+#ifndef LOOPSIM_STORE_FINGERPRINT_HH
+#define LOOPSIM_STORE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace loopsim
+{
+
+struct RunSpec;
+struct RetryPolicy;
+
+namespace store
+{
+
+/**
+ * Record-format version: bumping it invalidates every existing record
+ * (it is hashed into the fingerprint *and* checked in the record
+ * header, so stale files simply read as misses).
+ */
+constexpr std::uint32_t kSchemaVersion = 1;
+
+/**
+ * Model epoch: bump when a simulator change alters results for
+ * unchanged configurations (new stat semantics, changed tie-breaking,
+ * recalibrated profiles). Hashing it into the fingerprint retires the
+ * whole store without deleting a file.
+ */
+constexpr std::uint64_t kModelEpoch = 1;
+
+/** A 128-bit content hash (two FNV-1a lanes over the same bytes). */
+struct Fingerprint
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Fingerprint &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const Fingerprint &o) const { return !(*this == o); }
+    bool operator<(const Fingerprint &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+
+    /** 32 lowercase hex digits (hi then lo); the store's file name. */
+    std::string hex() const;
+
+    /** Parse hex(); returns false on malformed input. */
+    static bool parse(std::string_view text, Fingerprint &out);
+};
+
+/**
+ * Incremental canonical hasher. Every value goes in behind a short
+ * field tag, so "" + "ab" can never collide with "a" + "b" and field
+ * reordering in a future refactor shows up as an (intended) rehash.
+ */
+class Hasher
+{
+  public:
+    Hasher();
+
+    void bytes(const void *data, std::size_t n);
+    void tag(std::string_view name);
+    void str(std::string_view name, std::string_view v);
+    void u64(std::string_view name, std::uint64_t v);
+    void f64(std::string_view name, double v); ///< by bit pattern
+    void flag(std::string_view name, bool v);
+
+    Fingerprint digest() const;
+
+  private:
+    std::uint64_t a;
+    std::uint64_t b;
+};
+
+/**
+ * Fingerprint one planned run: @p spec resolved against the current
+ * defaults + environment + programmatic overlays (the same resolution
+ * runOnce() performs), plus @p policy and the schema/epoch constants.
+ */
+Fingerprint fingerprintRun(const RunSpec &spec, const RetryPolicy &policy);
+
+} // namespace store
+} // namespace loopsim
+
+#endif // LOOPSIM_STORE_FINGERPRINT_HH

@@ -1,0 +1,276 @@
+#include "store/record.hh"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "harness/experiment.hh"
+
+namespace loopsim::store
+{
+
+namespace
+{
+
+/** Byte-wise CRC-32 table for polynomial 0xEDB88320, built once. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** Append little-endian scalars / length-prefixed blobs to a string. */
+class Encoder
+{
+  public:
+    explicit Encoder(std::string &sink) : out(sink) {}
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { out.push_back(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out.append(s);
+    }
+
+    void
+    doubles(const std::vector<double> &v)
+    {
+        u32(static_cast<std::uint32_t>(v.size()));
+        for (double d : v)
+            f64(d);
+    }
+
+  private:
+    std::string &out;
+};
+
+/** Bounds-checked little-endian reader; every getter reports failure
+ *  instead of reading past the end, so truncation can never fabricate
+ *  a value. */
+class Decoder
+{
+  public:
+    Decoder(const char *data, std::size_t n) : p(data), end(data + n) {}
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        if (remaining() < 4)
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(p[i]))
+                 << (8 * i);
+        p += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (remaining() < 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(p[i]))
+                 << (8 * i);
+        p += 8;
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        std::uint64_t bits = 0;
+        if (!u64(bits))
+            return false;
+        v = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    bool
+    boolean(bool &v)
+    {
+        if (remaining() < 1)
+            return false;
+        v = *p++ != 0;
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        std::uint32_t len = 0;
+        if (!u32(len) || remaining() < len)
+            return false;
+        s.assign(p, len);
+        p += len;
+        return true;
+    }
+
+    bool
+    doubles(std::vector<double> &v)
+    {
+        std::uint32_t count = 0;
+        if (!u32(count) || remaining() < 8ull * count)
+            return false;
+        v.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            if (!f64(v[i]))
+                return false;
+        }
+        return true;
+    }
+
+    bool done() const { return p == end; }
+
+  private:
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - p);
+    }
+
+    const char *p;
+    const char *end;
+};
+
+} // anonymous namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    const auto &table = crcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::string
+encodeRecord(const Fingerprint &fp, const RunResult &result)
+{
+    std::string payload;
+    Encoder enc(payload);
+    enc.str(result.workloadLabel);
+    enc.str(result.pipeLabel);
+    enc.u64(result.cycles);
+    enc.u64(result.retired);
+    enc.f64(result.ipc);
+    enc.boolean(result.failed);
+    enc.str(result.error);
+    enc.doubles(result.operandSourceFractions);
+    enc.doubles(result.operandSourceCounts);
+    enc.doubles(result.gapCdf);
+    enc.u32(static_cast<std::uint32_t>(result.scalars.size()));
+    for (const auto &[name, value] : result.scalars) {
+        enc.str(name);
+        enc.f64(value);
+    }
+
+    std::string record;
+    record.reserve(kRecordHeaderBytes + payload.size());
+    Encoder hdr(record);
+    hdr.u32(kRecordMagic);
+    hdr.u32(kSchemaVersion);
+    hdr.u64(fp.hi);
+    hdr.u64(fp.lo);
+    hdr.u32(static_cast<std::uint32_t>(payload.size()));
+    hdr.u32(crc32(payload.data(), payload.size()));
+    record.append(payload);
+    return record;
+}
+
+bool
+decodeRecord(const std::string &bytes, const Fingerprint &expect,
+             RunResult &result)
+{
+    Decoder hdr(bytes.data(), bytes.size());
+    std::uint32_t magic = 0;
+    std::uint32_t schema = 0;
+    Fingerprint fp;
+    std::uint32_t payload_size = 0;
+    std::uint32_t payload_crc = 0;
+    if (!hdr.u32(magic) || !hdr.u32(schema) || !hdr.u64(fp.hi) ||
+        !hdr.u64(fp.lo) || !hdr.u32(payload_size) ||
+        !hdr.u32(payload_crc)) {
+        return false;
+    }
+    if (magic != kRecordMagic || schema != kSchemaVersion ||
+        fp != expect) {
+        return false;
+    }
+    if (bytes.size() != kRecordHeaderBytes + payload_size)
+        return false;
+    const char *payload = bytes.data() + kRecordHeaderBytes;
+    if (crc32(payload, payload_size) != payload_crc)
+        return false;
+
+    RunResult out;
+    Decoder dec(payload, payload_size);
+    std::uint64_t cycles = 0;
+    std::uint32_t scalar_count = 0;
+    if (!dec.str(out.workloadLabel) || !dec.str(out.pipeLabel) ||
+        !dec.u64(cycles) || !dec.u64(out.retired) || !dec.f64(out.ipc) ||
+        !dec.boolean(out.failed) || !dec.str(out.error) ||
+        !dec.doubles(out.operandSourceFractions) ||
+        !dec.doubles(out.operandSourceCounts) ||
+        !dec.doubles(out.gapCdf) || !dec.u32(scalar_count)) {
+        return false;
+    }
+    out.cycles = cycles;
+    for (std::uint32_t i = 0; i < scalar_count; ++i) {
+        std::string name;
+        double value = 0.0;
+        if (!dec.str(name) || !dec.f64(value))
+            return false;
+        out.scalars.emplace(std::move(name), value);
+    }
+    if (!dec.done())
+        return false;
+
+    result = std::move(out);
+    return true;
+}
+
+bool
+peekRecord(const std::string &bytes, Fingerprint &fp,
+           std::uint32_t &schema)
+{
+    Decoder hdr(bytes.data(), bytes.size());
+    std::uint32_t magic = 0;
+    if (!hdr.u32(magic) || magic != kRecordMagic)
+        return false;
+    return hdr.u32(schema) && hdr.u64(fp.hi) && hdr.u64(fp.lo);
+}
+
+} // namespace loopsim::store

@@ -89,7 +89,7 @@ MicroOp inline load(ArchReg dest, ArchReg base, Addr addr)
     return op;
 }
 
-MicroOp inline store(ArchReg base, ArchReg data, Addr addr)
+MicroOp inline storeOp(ArchReg base, ArchReg data, Addr addr)
 {
     MicroOp op;
     op.opClass = OpClass::Store;

@@ -47,7 +47,7 @@ warmThenDelay(ArchReg base, Addr addr, int delay = 12)
 {
     std::vector<MicroOp> ops;
     ops.push_back(alu(base));
-    ops.push_back(store(base, base, addr));
+    ops.push_back(storeOp(base, base, addr));
     ops.push_back(alu(base, base));
     for (int i = 1; i < delay; ++i)
         ops.push_back(alu(base, base));
@@ -116,7 +116,7 @@ TEST(CorePipeline, NopsAndStoresRetire)
     std::vector<MicroOp> ops;
     ops.push_back(nop());
     ops.push_back(alu(1));
-    ops.push_back(store(1, 1, 0x2000000));
+    ops.push_back(storeOp(1, 1, 0x2000000));
     ops.push_back(nop());
     auto h = makeHarness(ops);
     h.run();

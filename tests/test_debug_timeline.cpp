@@ -111,7 +111,7 @@ TEST(Timeline, ReissueShowsInTheRecord)
     cfg.setUint("core.timeline", 32);
     std::vector<MicroOp> ops;
     ops.push_back(alu(1));
-    ops.push_back(store(1, 1, 0x5000000));
+    ops.push_back(storeOp(1, 1, 0x5000000));
     ops.push_back(alu(1, 1));
     for (int i = 0; i < 12; ++i)
         ops.push_back(alu(1, 1));
@@ -195,7 +195,7 @@ TEST(Timeline, ReissueMarkRendersInTheGantt)
     cfg.setUint("core.timeline", 32);
     std::vector<MicroOp> ops;
     ops.push_back(alu(1));
-    ops.push_back(store(1, 1, 0x5000000));
+    ops.push_back(storeOp(1, 1, 0x5000000));
     for (int i = 0; i < 12; ++i)
         ops.push_back(alu(1, 1));
     ops.push_back(load(2, 1, 0x5000000 + 256)); // L1 miss

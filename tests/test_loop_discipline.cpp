@@ -200,7 +200,7 @@ TEST(LoopDiscipline, CleanRunIsViolationFreeUnderAudit)
     // at or after its visibility cycle.
     std::vector<MicroOp> ops;
     ops.push_back(alu(1));
-    ops.push_back(store(1, 1, 0x5000000));
+    ops.push_back(storeOp(1, 1, 0x5000000));
     for (int i = 0; i < 12; ++i)
         ops.push_back(alu(1, 1)); // hold the load behind the store
     ops.push_back(load(2, 1, 0x5000000 + 256)); // TLB hit, L1 miss

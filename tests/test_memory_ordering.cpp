@@ -66,13 +66,13 @@ reorderKernel(Addr addr)
     std::vector<MicroOp> ops;
     ops.push_back(alu(1)); // address base, ready early
     // Warm the TLB page and line.
-    ops.push_back(store(1, 1, addr));
+    ops.push_back(storeOp(1, 1, addr));
     // Long chain producing the store data.
     ops.push_back(alu(2));
     for (int i = 0; i < 20; ++i)
         ops.push_back(alu(2, 2));
     // The conflicting store: waits for r2 (the chain).
-    ops.push_back(store(1, 2, addr));
+    ops.push_back(storeOp(1, 2, addr));
     // The load: address ready immediately; executes before the store.
     ops.push_back(load(3, 1, addr));
     ops.push_back(alu(4, 3));
@@ -109,12 +109,12 @@ TEST(MemoryOrdering, WaitTableSuppressesRepeatTraps)
     // trap count stays far below the recurrence count.
     std::vector<MicroOp> ops;
     ops.push_back(alu(1));
-    ops.push_back(store(1, 1, 0x6000000));
+    ops.push_back(storeOp(1, 1, 0x6000000));
     for (int rep = 0; rep < 20; ++rep) {
         ops.push_back(alu(2));
         for (int i = 0; i < 12; ++i)
             ops.push_back(alu(2, 2));
-        MicroOp st = store(1, 2, 0x6000000);
+        MicroOp st = storeOp(1, 2, 0x6000000);
         st.pc = 0x9000; // stable static sites
         ops.push_back(st);
         MicroOp ld = load(3, 1, 0x6000000);
@@ -133,11 +133,11 @@ TEST(MemoryOrdering, DifferentDwordsDoNotConflict)
 {
     std::vector<MicroOp> ops;
     ops.push_back(alu(1));
-    ops.push_back(store(1, 1, 0x6000000));
+    ops.push_back(storeOp(1, 1, 0x6000000));
     ops.push_back(alu(2));
     for (int i = 0; i < 20; ++i)
         ops.push_back(alu(2, 2));
-    ops.push_back(store(1, 2, 0x6000000));
+    ops.push_back(storeOp(1, 2, 0x6000000));
     ops.push_back(load(3, 1, 0x6000008)); // adjacent dword
     auto h = makeHarness(ops);
     h.run();

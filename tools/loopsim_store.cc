@@ -1,0 +1,197 @@
+/**
+ * @file
+ * loopsim-store: inspect and prune a persistent campaign result store.
+ *
+ *   loopsim-store list   [--store DIR]              one line per record
+ *   loopsim-store stat   [--store DIR]              aggregate summary
+ *   loopsim-store verify [--store DIR]              full CRC validation
+ *   loopsim-store gc     [--store DIR] --max-bytes N   prune to budget
+ *
+ * The store directory comes from --store or the LOOPSIM_STORE
+ * environment variable, matching the bench binaries. Exit status: 0 on
+ * success (verify: store fully valid), 1 when verify found corrupt
+ * records, 2 on usage errors.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "store/fingerprint.hh"
+#include "store/result_store.hh"
+
+using namespace loopsim;
+
+namespace
+{
+
+int
+usage(std::ostream &os, int exit_code)
+{
+    os << "usage: loopsim-store <command> [options]\n"
+          "\n"
+          "commands:\n"
+          "  list                 one line per record: fingerprint, "
+          "bytes, workload, pipe, IPC\n"
+          "  stat                 aggregate summary (records, bytes, "
+          "schema versions)\n"
+          "  verify               validate every record's CRC; exit 1 "
+          "if any is corrupt\n"
+          "  gc --max-bytes N     evict invalid then oldest records "
+          "until <= N bytes\n"
+          "\n"
+          "options:\n"
+          "  --store DIR          store directory (default: "
+          "$LOOPSIM_STORE)\n";
+    return exit_code;
+}
+
+/** Value of `--flag V` / `--flag=V`; exit 2 when the value is absent. */
+std::string
+flagValue(const std::vector<std::string> &args, const std::string &flag)
+{
+    const std::string prefix = flag + "=";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i].rfind(prefix, 0) == 0)
+            return args[i].substr(prefix.size());
+        if (args[i] != flag)
+            continue;
+        if (i + 1 >= args.size()) {
+            std::cerr << flag << " needs a value\n";
+            std::exit(2);
+        }
+        return args[i + 1];
+    }
+    return "";
+}
+
+std::string
+resolveDir(const std::vector<std::string> &args)
+{
+    std::string dir = flagValue(args, "--store");
+    if (dir.empty())
+        dir = store::storePath();
+    if (dir.empty()) {
+        std::cerr << "loopsim-store: no store directory (pass --store "
+                     "DIR or set LOOPSIM_STORE)\n";
+        std::exit(2);
+    }
+    return dir;
+}
+
+int
+cmdList(const std::string &dir)
+{
+    const auto entries = store::scanStore(dir, /*decode=*/true);
+    for (const store::StoreEntry &e : entries) {
+        std::cout << e.fp.hex() << "  " << e.bytes << "B";
+        if (!e.valid) {
+            std::cout << "  CORRUPT  " << e.path << "\n";
+            continue;
+        }
+        std::cout << "  " << e.result.workloadLabel << " ["
+                  << e.result.pipeLabel << "]";
+        if (e.result.failed)
+            std::cout << "  FAILED";
+        else
+            std::cout << "  ipc=" << e.result.ipc << "  cycles="
+                      << e.result.cycles;
+        std::cout << "\n";
+    }
+    std::cout << entries.size() << " record(s) in " << dir << "\n";
+    return 0;
+}
+
+int
+cmdStat(const std::string &dir)
+{
+    const auto entries = store::scanStore(dir, /*decode=*/true);
+    std::uint64_t bytes = 0;
+    std::size_t corrupt = 0;
+    std::size_t failed = 0;
+    std::map<std::uint32_t, std::size_t> by_schema;
+    for (const store::StoreEntry &e : entries) {
+        bytes += e.bytes;
+        ++by_schema[e.schema];
+        if (!e.valid)
+            ++corrupt;
+        else if (e.result.failed)
+            ++failed;
+    }
+    std::cout << "store:          " << dir << "\n"
+              << "records:        " << entries.size() << "\n"
+              << "bytes:          " << bytes << "\n"
+              << "corrupt:        " << corrupt << "\n"
+              << "failed-runs:    " << failed << "\n"
+              << "schema-current: " << store::kSchemaVersion << "\n"
+              << "model-epoch:    " << store::kModelEpoch << "\n";
+    for (const auto &[schema, count] : by_schema)
+        std::cout << "schema[" << schema << "]:      " << count << "\n";
+    return 0;
+}
+
+int
+cmdVerify(const std::string &dir)
+{
+    const store::VerifyReport report = store::verifyStore(dir);
+    for (const std::string &path : report.corruptPaths)
+        std::cout << "CORRUPT  " << path << "\n";
+    std::cout << report.records << " record(s), " << report.corrupt
+              << " corrupt\n";
+    return report.corrupt == 0 ? 0 : 1;
+}
+
+int
+cmdGc(const std::string &dir, const std::vector<std::string> &args)
+{
+    std::string text = flagValue(args, "--max-bytes");
+    if (text.empty()) {
+        std::cerr << "gc needs --max-bytes N\n";
+        return 2;
+    }
+    char *end = nullptr;
+    unsigned long long max_bytes = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0' || text[0] == '-') {
+        std::cerr << "invalid --max-bytes: \"" << text
+                  << "\" (expected a non-negative byte count)\n";
+        return 2;
+    }
+    const store::GcReport report = store::gcStore(dir, max_bytes);
+    std::cout << "scanned " << report.scanned << " record(s), removed "
+              << report.removed << ": " << report.bytesBefore << "B -> "
+              << report.bytesAfter << "B (budget " << max_bytes
+              << "B)\n";
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help")
+        return usage(std::cout, 0);
+
+    std::vector<std::string> args(argv + 2, argv + argc);
+    const std::string dir = resolveDir(args);
+
+    if (command == "list")
+        return cmdList(dir);
+    if (command == "stat")
+        return cmdStat(dir);
+    if (command == "verify")
+        return cmdVerify(dir);
+    if (command == "gc")
+        return cmdGc(dir, args);
+
+    std::cerr << "loopsim-store: unknown command \"" << command
+              << "\"\n";
+    return usage(std::cerr, 2);
+}
