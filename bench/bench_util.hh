@@ -3,16 +3,22 @@
  * Shared helpers for the figure-reproduction bench binaries.
  *
  * Common CLI surface: `<bench> [OPS] [--jobs N] [--csv] [--trace PATH]
- * [--profile] [--store DIR]` in any argument order, plus the
- * LOOPSIM_BENCH_OPS, LOOPSIM_JOBS, LOOPSIM_TRACE, LOOPSIM_PROFILE and
- * LOOPSIM_STORE environment variables. Every binary records campaign
- * telemetry (wall clock, runs/sec, cache activity, and the kernel
+ * [--profile] [--store DIR] [--isolate] [--deadline-ms N]
+ * [--journal DIR]` in any argument order, plus the LOOPSIM_BENCH_OPS,
+ * LOOPSIM_JOBS, LOOPSIM_TRACE, LOOPSIM_PROFILE, LOOPSIM_STORE,
+ * LOOPSIM_ISOLATE, LOOPSIM_DEADLINE_MS and LOOPSIM_JOURNAL environment
+ * variables. Every binary records campaign telemetry (wall clock,
+ * runs/sec, cache activity, supervision counters, and the kernel
  * tick profile when --profile is on) into BENCH_campaign.json on
- * exit; --trace additionally writes the campaign's loop-event trace
- * (Chrome JSON, or CSV for *.csv paths — see src/trace/loop_trace.hh
- * and DESIGN.md §11); --store points the persistent result store at a
- * directory, so reruns replay cached cells instead of simulating
- * (src/store/, DESIGN.md §12).
+ * exit — including on a SIGINT/SIGTERM drain, via the campaign
+ * interrupt-flush hook; --trace additionally writes the campaign's
+ * loop-event trace (Chrome JSON, or CSV for *.csv paths — see
+ * src/trace/loop_trace.hh and DESIGN.md §11); --store points the
+ * persistent result store at a directory, so reruns replay cached
+ * cells instead of simulating (src/store/, DESIGN.md §12); --isolate
+ * runs each cell in a supervised forked worker with --deadline-ms as
+ * its wall-clock watchdog, and --journal makes the campaign resumable
+ * after a crash or interrupt (DESIGN.md §13).
  */
 
 #ifndef LOOPSIM_BENCH_BENCH_UTIL_HH
@@ -28,6 +34,8 @@
 #include <vector>
 
 #include "harness/campaign.hh"
+#include "harness/supervisor.hh"
+#include "store/journal.hh"
 #include "store/result_store.hh"
 #include "trace/loop_trace.hh"
 
@@ -57,7 +65,8 @@ inline bool
 flagTakesValue(const std::string &flag)
 {
     return flag == "--jobs" || flag == "-j" || flag == "--trace" ||
-           flag == "--store";
+           flag == "--store" || flag == "--deadline-ms" ||
+           flag == "--journal";
 }
 
 /** Value of a `--flag V` / `--flag=V` option, or "" when absent. */
@@ -202,6 +211,46 @@ benchStore(int argc, char **argv)
     return !path.empty() ? path : store::storePath();
 }
 
+/** Crash isolation: `--isolate`, else LOOPSIM_ISOLATE. */
+inline bool
+benchIsolate(int argc, char **argv)
+{
+    return detail::hasFlag(argc, argv, "--isolate") ||
+           isolationActive();
+}
+
+/**
+ * Per-cell wall-clock deadline in ms: `--deadline-ms N` /
+ * `--deadline-ms=N`, else LOOPSIM_DEADLINE_MS; 0 = no deadline.
+ */
+inline std::uint64_t
+benchDeadlineMs(int argc, char **argv)
+{
+    std::string value = detail::flagValue(argc, argv, "--deadline-ms");
+    if (!value.empty())
+        return detail::parseCount(value, "deadline");
+    return deadlineMs();
+}
+
+/**
+ * Campaign journal directory: `--journal DIR` / `--journal=DIR`, else
+ * the LOOPSIM_JOURNAL environment variable; "" when journaling is
+ * off. A `--journal` with a missing path is a usage error (exit 2).
+ */
+inline std::string
+benchJournal(int argc, char **argv)
+{
+    bool present = detail::hasFlag(argc, argv, "--journal");
+    std::string path = detail::flagValue(argc, argv, "--journal");
+    if (path.empty() && (present || detail::hasFlag(argc, argv,
+                                                    "--journal="))) {
+        std::fprintf(stderr, "--journal needs a directory path "
+                     "(usage: --journal DIR or --journal=DIR)\n");
+        std::exit(2);
+    }
+    return !path.empty() ? path : store::journalPath();
+}
+
 /** Workloads used by ablation benches (a representative subset). */
 inline std::vector<std::string>
 ablationWorkloads()
@@ -217,9 +266,12 @@ ablationWorkloads()
  * perf trajectory of the figure suite is recorded run over run. The
  * constructor also installs the --jobs worker count, enables trace
  * collection when --trace/LOOPSIM_TRACE names a path (the destructor
- * writes the collected trace there), and turns on kernel tick
- * profiling under --profile/LOOPSIM_PROFILE (recorded as the entry's
- * "tick_profile" array).
+ * writes the collected trace there), turns on kernel tick profiling
+ * under --profile/LOOPSIM_PROFILE (recorded as the entry's
+ * "tick_profile" array), arms crash isolation / deadlines /
+ * journaling from their flags, and registers itself as the campaign
+ * interrupt-flush hook so a SIGINT/SIGTERM drain still writes the
+ * (partial) telemetry entry before the process exits.
  */
 class CampaignRecorder
 {
@@ -240,10 +292,34 @@ class CampaignRecorder
         std::string store_dir = benchStore(argc, argv);
         if (!store_dir.empty())
             store::setStorePath(store_dir);
+        if (benchIsolate(argc, argv))
+            setIsolation(true);
+        setDeadlineMs(benchDeadlineMs(argc, argv));
+        std::string journal_dir = benchJournal(argc, argv);
+        if (!journal_dir.empty())
+            store::setJournalPath(journal_dir);
+        // The campaign executor runs on this thread, so the hook fires
+        // with this object alive and no concurrent flush possible.
+        setCampaignInterruptFlush([this] { flush(); });
     }
 
     ~CampaignRecorder()
     {
+        setCampaignInterruptFlush(nullptr);
+        flush();
+    }
+
+    CampaignRecorder(const CampaignRecorder &) = delete;
+    CampaignRecorder &operator=(const CampaignRecorder &) = delete;
+
+    /** Write the telemetry entry (and the trace, when tracing). Runs
+     *  once: the interrupt hook and the destructor share the guard. */
+    void
+    flush()
+    {
+        if (flushed)
+            return;
+        flushed = true;
         std::chrono::duration<double> wall =
             std::chrono::steady_clock::now() - start;
         CampaignTelemetry t = campaignTotals();
@@ -257,6 +333,8 @@ class CampaignRecorder
               << ", \"campaign_wall_s\": " << t.wallSeconds
               << ", \"runs_per_s\": " << t.runsPerSecond()
               << ", \"process_wall_s\": " << wall.count()
+              << ", \"interrupted\": "
+              << (t.interrupted ? "true" : "false")
               << ", \"store\": {\"dir\": \"" << store::storePath()
               << "\", \"memo_hits\": " << t.memoHits
               << ", \"hits\": " << t.store.hits
@@ -264,7 +342,18 @@ class CampaignRecorder
               << ", \"inserts\": " << t.store.inserts
               << ", \"crc_rejects\": " << t.store.crcRejects
               << ", \"bytes_read\": " << t.store.bytesRead
-              << ", \"bytes_written\": " << t.store.bytesWritten << "}";
+              << ", \"bytes_written\": " << t.store.bytesWritten << "}"
+              << ", \"supervision\": {\"isolate\": "
+              << (isolationActive() ? "true" : "false")
+              << ", \"deadline_ms\": " << deadlineMs()
+              << ", \"journal\": \"" << store::journalPath()
+              << "\", \"isolated_runs\": " << t.isolatedRuns
+              << ", \"crashes\": " << t.crashes
+              << ", \"timeouts\": " << t.timeouts
+              << ", \"spawn_retries\": " << t.spawnRetries
+              << ", \"backoff_waits\": " << t.backoffWaits
+              << ", \"backoff_wait_ms\": " << t.backoffWaitMs
+              << ", \"resumed\": " << t.resumed << "}";
         if (!t.tickProfile.empty()) {
             entry << ", \"tick_profile\": [";
             for (std::size_t i = 0; i < t.tickProfile.size(); ++i) {
@@ -285,9 +374,6 @@ class CampaignRecorder
                          tracePath.c_str());
         }
     }
-
-    CampaignRecorder(const CampaignRecorder &) = delete;
-    CampaignRecorder &operator=(const CampaignRecorder &) = delete;
 
   private:
     /** Append @p entry to the JSON array, creating the file if absent.
@@ -327,6 +413,7 @@ class CampaignRecorder
     std::uint64_t totalOps;
     std::string tracePath;
     std::chrono::steady_clock::time_point start;
+    bool flushed = false;
 };
 
 } // namespace loopsim::benchutil

@@ -13,6 +13,11 @@ namespace
 // Read on every warn()/inform() from any campaign worker; tests flip
 // it around run blocks, so it is atomic rather than a plain bool.
 std::atomic<bool> quietFlag{false};
+
+// Per-thread warn() prefix (the campaign executor's cell tag). A
+// forked worker inherits the forking thread's value, so a child
+// process's diagnostics stay attributable too.
+thread_local std::string diagPrefix;
 } // anonymous namespace
 
 void
@@ -48,12 +53,24 @@ fatalImpl(const char *file, int line, const std::string &msg)
 }
 
 void
+setDiagContext(const std::string &prefix)
+{
+    diagPrefix = prefix;
+}
+
+const std::string &
+diagContext()
+{
+    return diagPrefix;
+}
+
+void
 warnImpl(const std::string &msg)
 {
     // Single buffered insertion per message so lines from concurrent
     // campaign workers cannot interleave mid-line.
     if (!quiet())
-        std::cerr << "warn: " + msg + "\n";
+        std::cerr << "warn: " + diagPrefix + msg + "\n";
 }
 
 void

@@ -62,7 +62,32 @@ void informImpl(const std::string &msg);
 void setQuiet(bool quiet);
 bool quiet();
 
+/** Thread-local diagnostic prefix prepended to every warn() line
+ *  emitted by this thread ("" clears). The campaign executor tags each
+ *  worker with its cell's plan-index label so interleaved stderr from
+ *  parallel workers stays attributable. */
+void setDiagContext(const std::string &prefix);
+const std::string &diagContext();
+
 } // namespace detail
+
+/** RAII diag-context scope: prefixes this thread's warn() lines for
+ *  the lifetime of the object, restoring the previous prefix after. */
+class DiagContext
+{
+  public:
+    explicit DiagContext(std::string prefix)
+        : saved(detail::diagContext())
+    {
+        detail::setDiagContext(std::move(prefix));
+    }
+    ~DiagContext() { detail::setDiagContext(saved); }
+    DiagContext(const DiagContext &) = delete;
+    DiagContext &operator=(const DiagContext &) = delete;
+
+  private:
+    std::string saved;
+};
 
 #define panic(...)                                                          \
     ::loopsim::detail::panicImpl(                                           \

@@ -653,6 +653,11 @@ Core::retireStage(Cycle now)
             pool.release(ref);
             ++t.retired;
             *retiredTotal += 1;
+            // Process-level fault injection (crash_at_op/hang_at_op):
+            // kills or hangs the host process at an exact retired-op
+            // count to prove the supervision layer end-to-end.
+            if (injector && injector->processFaultsArmed())
+                injector->opRetired(retiredOps());
             --budget;
             progress = true;
         }

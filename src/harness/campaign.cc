@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -12,7 +14,9 @@
 
 #include "base/logging.hh"
 #include "core/machine_config.hh"
+#include "harness/supervisor.hh"
 #include "store/fingerprint.hh"
+#include "store/journal.hh"
 #include "trace/loop_trace.hh"
 
 namespace loopsim
@@ -48,6 +52,58 @@ CampaignTelemetry totalTelemetry;
 
 std::atomic<unsigned> explicitJobs{0};
 
+std::mutex flushHookMutex;
+std::function<void()> interruptFlushHook;
+
+/** Graceful-shutdown state, set from the signal handler. */
+std::atomic<bool> shutdownRequested{false};
+std::atomic<int> shutdownSignal{0};
+
+/** Async-signal-safe: only atomic stores. */
+void
+onShutdownSignal(int sig)
+{
+    shutdownSignal.store(sig, std::memory_order_relaxed);
+    shutdownRequested.store(true, std::memory_order_release);
+}
+
+/**
+ * Installs the SIGINT/SIGTERM drain handlers for one campaign and
+ * restores the previous dispositions on scope exit. SA_RESETHAND so
+ * an impatient second signal gets the default (immediate) action.
+ */
+class ShutdownGuard
+{
+  public:
+    ShutdownGuard()
+    {
+        shutdownRequested.store(false, std::memory_order_release);
+        struct sigaction sa = {};
+        sa.sa_handler = onShutdownSignal;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_RESETHAND;
+        ::sigaction(SIGINT, &sa, &oldInt);
+        ::sigaction(SIGTERM, &sa, &oldTerm);
+    }
+
+    ~ShutdownGuard() { restore(); }
+
+    void
+    restore()
+    {
+        if (restored)
+            return;
+        restored = true;
+        ::sigaction(SIGINT, &oldInt, nullptr);
+        ::sigaction(SIGTERM, &oldTerm, nullptr);
+    }
+
+  private:
+    struct sigaction oldInt = {};
+    struct sigaction oldTerm = {};
+    bool restored = false;
+};
+
 /** LOOPSIM_JOBS, parsed once; 0 when unset or unusable. */
 unsigned
 envJobs()
@@ -72,30 +128,85 @@ envJobs()
  * a worker can never unwind out of its thread and abort the pool.
  */
 RunResult
+failSoftCell(const PlannedRun &cell, const char *what)
+{
+    RunResult res;
+    res.failed = true;
+    res.failKind = FailKind::Sim;
+    res.error = what;
+    res.ipc = failPoint(FailKind::Sim);
+    try {
+        res.workloadLabel = cell.spec.workload.threads.empty()
+                                ? cell.spec.workload.label
+                                : figureLabel(cell.spec.workload);
+        res.pipeLabel = MachineConfig::fromConfig(cell.spec.overrides)
+                            .pipeLabel();
+    } catch (const std::exception &) {
+        // The spec itself is unprintable; keep whatever stuck.
+    }
+    if (res.workloadLabel.empty())
+        res.workloadLabel = cell.label.empty() ? "?" : cell.label;
+    if (res.pipeLabel.empty())
+        res.pipeLabel = "?";
+    return res;
+}
+
+RunResult
 runCell(const PlannedRun &cell, const RetryPolicy &policy)
 {
     try {
         return runOnceResilient(cell.spec, policy);
     } catch (const std::exception &err) {
-        RunResult res;
-        res.failed = true;
-        res.error = err.what();
-        res.ipc = std::numeric_limits<double>::quiet_NaN();
-        try {
-            res.workloadLabel = cell.spec.workload.threads.empty()
-                                    ? cell.spec.workload.label
-                                    : figureLabel(cell.spec.workload);
-            res.pipeLabel = MachineConfig::fromConfig(cell.spec.overrides)
-                                .pipeLabel();
-        } catch (const std::exception &) {
-            // The spec itself is unprintable; keep whatever stuck.
-        }
-        if (res.workloadLabel.empty())
-            res.workloadLabel = cell.label.empty() ? "?" : cell.label;
-        if (res.pipeLabel.empty())
-            res.pipeLabel = "?";
-        return res;
+        return failSoftCell(cell, err.what());
     }
+}
+
+/** Thread warn() prefix: "[cell 7: fig4 swim 7_7] ". */
+std::string
+cellTag(std::size_t index, const PlannedRun &cell)
+{
+    std::string tag = "[cell " + std::to_string(index);
+    if (!cell.label.empty())
+        tag += ": " + cell.label;
+    else if (!cell.spec.workload.label.empty())
+        tag += ": " + cell.spec.workload.label;
+    return tag + "] ";
+}
+
+/** Atomic supervision counters shared by the pool workers. */
+struct SupervisionCounters
+{
+    std::atomic<std::size_t> isolatedRuns{0};
+    std::atomic<std::size_t> crashes{0};
+    std::atomic<std::size_t> timeouts{0};
+    std::atomic<std::size_t> spawnRetries{0};
+    std::atomic<std::size_t> backoffWaits{0};
+    std::atomic<std::uint64_t> backoffWaitMs{0};
+};
+
+void
+loadSupervisionCounters(CampaignTelemetry &t,
+                        const SupervisionCounters &c)
+{
+    t.isolatedRuns = c.isolatedRuns.load(std::memory_order_relaxed);
+    t.crashes = c.crashes.load(std::memory_order_relaxed);
+    t.timeouts = c.timeouts.load(std::memory_order_relaxed);
+    t.spawnRetries = c.spawnRetries.load(std::memory_order_relaxed);
+    t.backoffWaits = c.backoffWaits.load(std::memory_order_relaxed);
+    t.backoffWaitMs = c.backoffWaitMs.load(std::memory_order_relaxed);
+}
+
+store::Fingerprint
+planFingerprintFromCells(const std::vector<store::Fingerprint> &fps)
+{
+    store::Hasher h;
+    h.u64("plan.cells", fps.size());
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+        h.u64("cell.index", i);
+        h.u64("cell.fp.hi", fps[i].hi);
+        h.u64("cell.fp.lo", fps[i].lo);
+    }
+    return h.digest();
 }
 
 /** Per-campaign store activity: counters after minus counters before. */
@@ -122,6 +233,14 @@ CampaignTelemetry::accumulate(const CampaignTelemetry &other)
     failures += other.failures;
     simulated += other.simulated;
     memoHits += other.memoHits;
+    resumed += other.resumed;
+    isolatedRuns += other.isolatedRuns;
+    crashes += other.crashes;
+    timeouts += other.timeouts;
+    spawnRetries += other.spawnRetries;
+    backoffWaits += other.backoffWaits;
+    backoffWaitMs += other.backoffWaitMs;
+    interrupted = interrupted || other.interrupted;
     store.accumulate(other.store);
     wallSeconds += other.wallSeconds;
     mergeTickProfile(tickProfile, other.tickProfile);
@@ -173,16 +292,50 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
     const store::StoreStats storeBefore =
         pstore ? pstore->stats() : store::StoreStats{};
 
+    // Isolation and the journal ride the same gate as the caches:
+    // trace collection needs real in-process executions, and a traced
+    // campaign is a diagnostic run, not one worth resuming.
+    const bool isolate = memoize && isolationActive();
+    if (!memoize && isolationActive()) {
+        warn("trace collection forces in-process execution; "
+             "--isolate is bypassed for this campaign");
+    }
+
     constexpr std::size_t kNotDup = static_cast<std::size_t>(-1);
     std::vector<store::Fingerprint> fps(plan.size());
     std::vector<std::size_t> dupOf(plan.size(), kNotDup);
     std::vector<std::size_t> pending;
     std::size_t memoHits = 0;
+    std::size_t resumed = 0;
+
+    std::unique_ptr<store::CampaignJournal> journal;
+    if (memoize && store::journalConfigured() && !plan.empty()) {
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            fps[i] = store::fingerprintRun(plan.at(i).spec, policy);
+        journal = std::make_unique<store::CampaignJournal>(
+            store::journalPath(), planFingerprintFromCells(fps),
+            plan.size());
+        if (!journal->ok())
+            journal.reset();
+    }
 
     if (memoize) {
         std::map<store::Fingerprint, std::size_t> firstMiss;
         for (std::size_t i = 0; i < plan.size(); ++i) {
-            fps[i] = store::fingerprintRun(plan.at(i).spec, policy);
+            if (!journal)
+                fps[i] = store::fingerprintRun(plan.at(i).spec, policy);
+            // Journal replay outranks the caches: it carries recorded
+            // fail/crash/timeout verdicts, and resuming must not send
+            // a known-poison cell back to crash another worker.
+            if (journal) {
+                auto it = journal->replayed().find(fps[i]);
+                if (it != journal->replayed().end()) {
+                    results[i] = it->second;
+                    store::processMemo().insert(fps[i], it->second);
+                    ++resumed;
+                    continue;
+                }
+            }
             if (auto hit = store::processMemo().lookup(fps[i])) {
                 results[i] = std::move(*hit);
                 ++memoHits;
@@ -209,12 +362,60 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
             pending[i] = i;
     }
 
+    // Graceful shutdown scope: SIGINT/SIGTERM flips the drain flag,
+    // workers stop claiming cells, in-flight forked children are
+    // SIGKILLed and reaped by their supervising worker. `done[i]`
+    // marks slots whose result is real — an interrupted drain must
+    // not journal or publish a default-constructed RunResult.
+    ShutdownGuard shutdownGuard;
+    setSupervisorStopFlag(&shutdownRequested);
+    std::vector<std::atomic<bool>> done(plan.size());
+    SupervisionCounters counters;
+
+    auto executeOne = [&](std::size_t i) {
+        DiagContext diag(cellTag(i, plan.at(i)));
+        if (isolate) {
+            SupervisedOutcome so;
+            try {
+                so = runCellSupervised(plan.at(i).spec, policy,
+                                       plan.at(i).label);
+            } catch (const std::exception &err) {
+                so.result = failSoftCell(plan.at(i), err.what());
+            }
+            counters.isolatedRuns.fetch_add(1,
+                                            std::memory_order_relaxed);
+            counters.crashes.fetch_add(so.crashes,
+                                       std::memory_order_relaxed);
+            counters.timeouts.fetch_add(so.timeouts,
+                                        std::memory_order_relaxed);
+            counters.spawnRetries.fetch_add(
+                so.attempts - 1, std::memory_order_relaxed);
+            counters.backoffWaits.fetch_add(so.backoffWaits,
+                                            std::memory_order_relaxed);
+            counters.backoffWaitMs.fetch_add(so.backoffWaitMs,
+                                             std::memory_order_relaxed);
+            if (so.interrupted)
+                return;
+            results[i] = std::move(so.result);
+        } else {
+            results[i] = runCell(plan.at(i), policy);
+        }
+        // Journal as cells finish, not after the pool drains: a
+        // killed campaign then loses at most the entries in flight.
+        if (journal)
+            journal->append(fps[i], results[i]);
+        done[i].store(true, std::memory_order_release);
+    };
+
     const unsigned workers_wanted = static_cast<unsigned>(
         std::min<std::size_t>(jobs, std::max<std::size_t>(
                                         pending.size(), 1)));
     if (workers_wanted <= 1) {
-        for (std::size_t i : pending)
-            results[i] = runCell(plan.at(i), policy);
+        for (std::size_t i : pending) {
+            if (shutdownRequested.load(std::memory_order_acquire))
+                break;
+            executeOne(i);
+        }
     } else {
         // Work-stealing by atomic cursor: each worker claims the next
         // unclaimed pending entry and writes its result slot. Slots
@@ -227,17 +428,22 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
             for (unsigned t = 0; t < workers_wanted; ++t) {
                 workers.emplace_back([&] {
                     for (;;) {
+                        if (shutdownRequested.load(
+                                std::memory_order_acquire))
+                            return;
                         std::size_t k = cursor.fetch_add(
                             1, std::memory_order_relaxed);
                         if (k >= pending.size())
                             return;
-                        std::size_t i = pending[k];
-                        results[i] = runCell(plan.at(i), policy);
+                        executeOne(pending[k]);
                     }
                 });
             }
         } // jthread joins here
     }
+    setSupervisorStopFlag(nullptr);
+    const bool interrupted =
+        shutdownRequested.load(std::memory_order_acquire);
 
     if (memoize) {
         // Publish fresh results: every simulated cell enters the memo
@@ -245,6 +451,8 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
         // process), but only healthy results are persisted, so a
         // future epoch or widened budget gets to retry failures.
         for (std::size_t i : pending) {
+            if (!done[i].load(std::memory_order_acquire))
+                continue;
             store::processMemo().insert(fps[i], results[i]);
             if (pstore && !results[i].failed)
                 pstore->insert(fps[i], results[i]);
@@ -253,13 +461,62 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
         // exactly what a memo hit would (no tick profile: the host
         // time was already attributed to the first occurrence).
         for (std::size_t i = 0; i < plan.size(); ++i) {
-            if (dupOf[i] == kNotDup)
+            if (dupOf[i] == kNotDup ||
+                !done[dupOf[i]].load(std::memory_order_acquire))
                 continue;
             if (auto hit = store::processMemo().lookup(fps[i]))
                 results[i] = std::move(*hit);
             else
                 results[i] = results[dupOf[i]];
         }
+    }
+
+    if (interrupted) {
+        // Drained: record what completed, flush, and exit with the
+        // conventional 128+signal status. The journal already holds
+        // every finished cell, so the next invocation resumes.
+        std::size_t completed = 0;
+        CampaignTelemetry t;
+        t.jobs = jobs;
+        t.runs = plan.size();
+        t.memoHits = memoHits;
+        t.resumed = resumed;
+        t.interrupted = true;
+        loadSupervisionCounters(t, counters);
+        for (std::size_t i : pending) {
+            if (!done[i].load(std::memory_order_acquire))
+                continue;
+            ++completed;
+            t.failures += results[i].failed ? 1 : 0;
+            mergeTickProfile(t.tickProfile, results[i].tickProfile);
+        }
+        t.simulated = completed;
+        if (pstore)
+            t.store = storeDelta(pstore->stats(), storeBefore);
+        auto drained =
+            // loop:exempt(wall-clock telemetry only)
+            std::chrono::steady_clock::now();
+        t.wallSeconds =
+            std::chrono::duration<double>(drained - start).count();
+        std::function<void()> flush;
+        {
+            std::lock_guard<std::mutex> lock(telemetryMutex);
+            lastTelemetry = t;
+            totalTelemetry.accumulate(t);
+        }
+        {
+            std::lock_guard<std::mutex> lock(flushHookMutex);
+            flush = interruptFlushHook;
+        }
+        if (flush)
+            flush();
+        const int sig = shutdownSignal.load(std::memory_order_relaxed);
+        warn("campaign interrupted by ",
+             sig == SIGINT ? "SIGINT" : "SIGTERM", ": ", completed,
+             " of ", pending.size(), " pending cells finished",
+             journal ? " and were journaled for resume" : "",
+             "; exiting ", 128 + sig);
+        std::exit(128 + sig); // NOLINT(concurrency-mt-unsafe)
     }
 
     std::chrono::duration<double> wall =
@@ -287,6 +544,8 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
     t.runs = plan.size();
     t.simulated = pending.size();
     t.memoHits = memoHits;
+    t.resumed = resumed;
+    loadSupervisionCounters(t, counters);
     if (pstore)
         t.store = storeDelta(pstore->stats(), storeBefore);
     t.wallSeconds = wall.count();
@@ -301,6 +560,23 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
         totalTelemetry.accumulate(t);
     }
     return results;
+}
+
+store::Fingerprint
+fingerprintPlan(const CampaignPlan &plan, const RetryPolicy &policy)
+{
+    std::vector<store::Fingerprint> fps;
+    fps.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        fps.push_back(store::fingerprintRun(plan.at(i).spec, policy));
+    return planFingerprintFromCells(fps);
+}
+
+void
+setCampaignInterruptFlush(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(flushHookMutex);
+    interruptFlushHook = std::move(hook);
 }
 
 CampaignTelemetry

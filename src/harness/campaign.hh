@@ -19,12 +19,32 @@
  * that still fails — or throws anything at all, including fatal() on a
  * malformed spec — comes back as a failed RunResult instead of tearing
  * down the pool. A campaign always returns one result per planned run.
+ *
+ * Crash isolation (--isolate / LOOPSIM_ISOLATE): each miss is run in a
+ * supervised forked worker (harness/supervisor.hh) instead of on the
+ * pool thread, so a segfault, abort, OOM kill or wall-clock deadline
+ * overrun (--deadline-ms) loses only that cell — it degrades to a
+ * `crash` / `timeout` figure cell after backoff respawns. Healthy
+ * results are byte-identical to an in-process run at any job count.
+ *
+ * Resumable journals (--journal / LOOPSIM_JOURNAL): every finished
+ * cell (verdicts included) is appended to a crash-consistent journal
+ * keyed by the plan fingerprint (store/journal.hh). Re-running the
+ * same plan replays completed cells — poison cells keep their recorded
+ * verdict instead of re-crashing a worker — and simulates only what is
+ * missing, preserving byte-identical assembled output.
+ *
+ * Graceful shutdown: SIGINT/SIGTERM makes the pool stop claiming
+ * cells, drain (and reap) what is in flight, journal every completed
+ * cell, record partial telemetry, run the interrupt-flush hook, and
+ * _exit with status 128+signal. A second signal kills immediately.
  */
 
 #ifndef LOOPSIM_HARNESS_CAMPAIGN_HH
 #define LOOPSIM_HARNESS_CAMPAIGN_HH
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -88,6 +108,26 @@ struct CampaignTelemetry
     /** Cells answered by the in-process memo, including duplicate
      *  plan points deduplicated within this campaign. */
     std::size_t memoHits = 0;
+    /** Cells replayed from a resumed campaign journal (recorded
+     *  fail/crash/timeout verdicts included). */
+    std::size_t resumed = 0;
+    /** @name Supervision counters (nonzero only under --isolate) */
+    /// @{
+    /** Cells that actually ran in forked workers. */
+    std::size_t isolatedRuns = 0;
+    /** Worker deaths observed (signal, nonzero exit, garbled record). */
+    std::size_t crashes = 0;
+    /** Wall-clock deadline overruns (worker SIGKILLed and reaped). */
+    std::size_t timeouts = 0;
+    /** Extra spawn attempts beyond each cell's first. */
+    std::size_t spawnRetries = 0;
+    /** Backoff sleeps between respawns, and their summed duration. */
+    std::size_t backoffWaits = 0;
+    std::uint64_t backoffWaitMs = 0;
+    /// @}
+    /** A SIGINT/SIGTERM shutdown cut this campaign short; the counts
+     *  above cover only what completed before the drain. */
+    bool interrupted = false;
     /** Persistent-store activity attributable to this campaign
      *  (hits/misses/inserts/CRC rejects/bytes; all zero when no store
      *  directory is configured). */
@@ -144,6 +184,25 @@ unsigned campaignJobs();
 std::vector<RunResult> runCampaign(const CampaignPlan &plan,
                                    const RetryPolicy &policy = {},
                                    unsigned jobs = 0);
+
+/**
+ * Fingerprint of the whole plan as runCampaign() would key its journal
+ * right now: a hash over every cell's run fingerprint in plan order
+ * (so it reflects the overlays and policy in force), plus the plan
+ * size. Exposed for tests and the journal CLI.
+ */
+store::Fingerprint fingerprintPlan(const CampaignPlan &plan,
+                                   const RetryPolicy &policy = {});
+
+/**
+ * Install the graceful-shutdown flush hook (nullptr clears). When a
+ * SIGINT/SIGTERM drain completes, the hook runs once — after partial
+ * telemetry is recorded and the journal is flushed, before the
+ * process exits with 128+signal. The bench binaries point this at
+ * their BENCH_campaign.json recorder so an interrupted campaign still
+ * leaves telemetry behind.
+ */
+void setCampaignInterruptFlush(std::function<void()> hook);
 
 /** Telemetry of the most recently completed campaign. */
 CampaignTelemetry lastCampaignTelemetry();

@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -136,6 +137,48 @@ RunResult::scalar(const std::string &name) const
     return it->second;
 }
 
+const char *
+failKindName(FailKind kind)
+{
+    switch (kind) {
+      case FailKind::None: return "";
+      case FailKind::Sim: return "fail";
+      case FailKind::Crash: return "crash";
+      case FailKind::Timeout: return "timeout";
+    }
+    return "fail";
+}
+
+namespace
+{
+/** Quiet-NaN bit base; the low bits carry the FailKind tag. */
+constexpr std::uint64_t kQuietNanBits = 0x7ff8000000000000ull;
+} // anonymous namespace
+
+double
+failPoint(FailKind kind)
+{
+    return std::bit_cast<double>(kQuietNanBits |
+                                 static_cast<std::uint64_t>(kind));
+}
+
+FailKind
+pointFailKind(double v)
+{
+    if (std::isfinite(v))
+        return FailKind::None;
+    switch (std::bit_cast<std::uint64_t>(v) & 0x7u) {
+      case static_cast<std::uint64_t>(FailKind::Crash):
+        return FailKind::Crash;
+      case static_cast<std::uint64_t>(FailKind::Timeout):
+        return FailKind::Timeout;
+      default:
+        // Untagged NaNs (std::nan(""), arithmetic on a failed point)
+        // degrade to the generic in-process failure.
+        return FailKind::Sim;
+    }
+}
+
 Config
 defaultFigureConfig()
 {
@@ -185,13 +228,38 @@ setDraPipeline(Config &cfg, unsigned regfile_latency)
     cfg.setUint("core.regfile_latency", regfile_latency);
 }
 
+namespace
+{
+
+/**
+ * Process-fault targeting: the crash_at_op / hang_at_op knobs apply
+ * only to cells whose figure label contains the corresponding target
+ * substring, so a campaign-wide overlay can poison selected cells
+ * while the rest of the sweep stays byte-identical to a clean run.
+ * An empty target means every cell.
+ */
+void
+gateProcessFaults(Config &cfg, const Workload &workload)
+{
+    if (!cfg.getBool("integrity.fault.enable", false))
+        return;
+    const std::string label = figureLabel(workload);
+    const auto gate = [&](const char *target_key, const char *op_key) {
+        std::string target = cfg.getString(target_key, "");
+        if (!target.empty() && label.find(target) == std::string::npos)
+            cfg.setUint(op_key, 0);
+    };
+    gate("integrity.fault.crash_target", "integrity.fault.crash_at_op");
+    gate("integrity.fault.hang_target", "integrity.fault.hang_at_op");
+}
+
 RunResult
-runOnce(const RunSpec &spec)
+runOnceWith(const RunSpec &spec, Config cfg)
 {
     fatal_if(spec.workload.threads.empty(), "empty workload");
     fatal_if(spec.totalOps == 0, "zero-length run");
 
-    Config cfg = effectiveConfig(spec);
+    gateProcessFaults(cfg, spec.workload);
 
     // Distribute the op budget across threads, spreading the division
     // remainder over the first threads so SMT pairings run exactly the
@@ -288,12 +356,27 @@ runOnce(const RunSpec &spec)
     return res;
 }
 
+} // anonymous namespace
+
+RunResult
+runOnce(const RunSpec &spec)
+{
+    return runOnceWith(spec, effectiveConfig(spec));
+}
+
 RunResult
 runOnceResilient(const RunSpec &spec, const RetryPolicy &policy)
 {
+    return runOnceResilientWith(spec, effectiveConfig(spec), policy);
+}
+
+RunResult
+runOnceResilientWith(const RunSpec &spec, const Config &resolved,
+                     const RetryPolicy &policy)
+{
+    const Config &cfg = resolved;
     // Per-run configuration can override the caller's policy, so whole
     // campaigns tune retry behaviour through overlays.
-    Config cfg = effectiveConfig(spec);
     RetryPolicy pol = policy;
     pol.attempts = static_cast<unsigned>(
         cfg.getUint("integrity.retry.attempts", pol.attempts));
@@ -308,7 +391,7 @@ runOnceResilient(const RunSpec &spec, const RetryPolicy &policy)
     std::string last_error;
     for (unsigned attempt = 0; attempt < pol.attempts; ++attempt) {
         try {
-            return runOnce(attempt_spec);
+            return runOnceWith(attempt_spec, cfg);
         } catch (const SimError &err) {
             last_error = err.what();
             warn("run \"", spec.workload.label, "\" attempt ",
@@ -331,18 +414,23 @@ runOnceResilient(const RunSpec &spec, const RetryPolicy &policy)
 
     RunResult res;
     res.failed = true;
+    res.failKind = FailKind::Sim;
     res.error = last_error;
     res.workloadLabel = figureLabel(spec.workload);
     res.pipeLabel = MachineConfig::fromConfig(cfg).pipeLabel();
-    res.ipc = std::numeric_limits<double>::quiet_NaN();
+    res.ipc = failPoint(FailKind::Sim);
     return res;
 }
 
 double
 speedup(const RunResult &test, const RunResult &baseline)
 {
-    if (test.failed || baseline.failed)
-        return std::numeric_limits<double>::quiet_NaN();
+    // Fail-soft points propagate their verdict through the ratio so
+    // the figure cell still renders as fail/crash/timeout.
+    if (test.failed)
+        return failPoint(test.failKind);
+    if (baseline.failed)
+        return failPoint(baseline.failKind);
     fatal_if(baseline.ipc <= 0.0, "baseline run retired nothing");
     return test.ipc / baseline.ipc;
 }

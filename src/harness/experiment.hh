@@ -39,6 +39,38 @@ struct RunSpec
     Cycle maxCycles = 50000000;
 };
 
+/**
+ * How a fail-soft cell died. `Sim` is the PR-1 state: the simulation
+ * itself reported a SimError (wedge, exhausted budget) inside a
+ * healthy process. `Crash` and `Timeout` are the process-level states
+ * the supervisor (harness/supervisor.hh) adds: the isolated worker
+ * process died on a signal (SIGSEGV, abort, OOM kill) or overran its
+ * wall-clock deadline. Figures render them as distinct `crash` /
+ * `timeout` cells next to the existing `fail`.
+ */
+enum class FailKind : std::uint8_t
+{
+    None = 0,    ///< healthy result
+    Sim = 1,     ///< in-process SimError after retries ("fail")
+    Crash = 2,   ///< worker process died on a signal
+    Timeout = 3, ///< worker process overran the wall-clock deadline
+};
+
+/** Figure-cell label: "fail" / "crash" / "timeout" ("" for None). */
+const char *failKindName(FailKind kind);
+
+/**
+ * NaN tagged with a FailKind in its quiet-NaN payload, so fail-soft
+ * figure cells keep their verdict through assembly (speedup ratios,
+ * fraction columns) without widening every Series with a side channel.
+ * The tag survives copies — never arithmetic — which is exactly how
+ * assembled figure values treat failed points.
+ */
+double failPoint(FailKind kind);
+
+/** Recover the tag: None for finite values, Sim for untagged NaNs. */
+FailKind pointFailKind(double v);
+
 /** Measurements extracted from a finished run. */
 struct RunResult
 {
@@ -51,6 +83,8 @@ struct RunResult
     /** Fail-soft marker: the run (and its retries) never finished.
      *  All measurement fields are meaningless when set. */
     bool failed = false;
+    /** Failure taxonomy (None when !failed). */
+    FailKind failKind = FailKind::None;
     /** Diagnostic from the last failed attempt (empty when !failed). */
     std::string error;
 
@@ -191,6 +225,16 @@ struct RetryPolicy
  */
 RunResult runOnceResilient(const RunSpec &spec,
                            const RetryPolicy &policy = {});
+
+/**
+ * runOnceResilient() against an already-resolved configuration
+ * (effectiveRunConfig()), skipping overlay resolution entirely. The
+ * fork-isolated supervisor uses this in the child so a freshly forked
+ * worker never takes the overlay mutex another parent thread might
+ * have held at fork time.
+ */
+RunResult runOnceResilientWith(const RunSpec &spec, const Config &resolved,
+                               const RetryPolicy &policy = {});
 
 /**
  * Relative speedup of @p test over @p baseline (IPC ratio). NaN when

@@ -23,20 +23,24 @@ resolveAll(const std::vector<std::string> &names)
     return out;
 }
 
-/** Operand-source fraction, NaN for a failed run. */
+/** Operand-source fraction; a tagged NaN keeps the fail verdict. */
 double
 frac(const RunResult &r, std::size_t i)
 {
-    if (r.failed || i >= r.operandSourceFractions.size())
+    if (r.failed)
+        return failPoint(r.failKind);
+    if (i >= r.operandSourceFractions.size())
         return failedPoint;
     return r.operandSourceFractions[i];
 }
 
-/** Gap-CDF sample, NaN for a failed run. */
+/** Gap-CDF sample; a tagged NaN keeps the fail verdict. */
 double
 cdfAt(const RunResult &r, unsigned c)
 {
-    if (r.failed || c >= r.gapCdf.size())
+    if (r.failed)
+        return failPoint(r.failKind);
+    if (c >= r.gapCdf.size())
         return failedPoint;
     return r.gapCdf[c];
 }
@@ -52,8 +56,16 @@ runPlan(FigureData &fig, const CampaignPlan &plan)
     for (const RunResult &r : results) {
         if (r.failed) {
             std::string brief = r.error.substr(0, r.error.find('\n'));
-            fig.failures.push_back(
-                r.workloadLabel + " [" + r.pipeLabel + "]: " + brief);
+            std::string entry =
+                r.workloadLabel + " [" + r.pipeLabel + "]: ";
+            // Process-level verdicts read differently from in-process
+            // fails: the worker died, the measurement never existed.
+            if (r.failKind == FailKind::Crash ||
+                r.failKind == FailKind::Timeout) {
+                entry += std::string("(") + failKindName(r.failKind) +
+                         ") ";
+            }
+            fig.failures.push_back(entry + brief);
         }
     }
     return results;
@@ -419,7 +431,8 @@ ablationKillShadow(std::uint64_t total_ops,
         fig.rowLabels.push_back(figureLabel(resolved[wi]));
         const RunResult &tree = results[wi * 2];
         const RunResult &shadow = results[wi * 2 + 1];
-        fig.columns[0].values.push_back(tree.failed ? failedPoint : 1.0);
+        fig.columns[0].values.push_back(
+            tree.failed ? failPoint(tree.failKind) : 1.0);
         fig.columns[1].values.push_back(speedup(shadow, tree));
     }
     return fig;
@@ -492,10 +505,11 @@ ablationMemDep(std::uint64_t total_ops,
         fig.rowLabels.push_back(figureLabel(resolved[wi]));
         const RunResult &on = results[wi * 2];
         const RunResult &off = results[wi * 2 + 1];
-        fig.columns[0].values.push_back(on.failed ? failedPoint : 1.0);
+        fig.columns[0].values.push_back(
+            on.failed ? failPoint(on.failKind) : 1.0);
         fig.columns[1].values.push_back(speedup(off, on));
         fig.columns[2].values.push_back(
-            on.failed ? failedPoint
+            on.failed ? failPoint(on.failKind)
                       : on.scalar("memOrderTraps") /
                             static_cast<double>(on.retired));
     }
@@ -568,7 +582,7 @@ sweepConfigs(const std::string &title,
         for (std::size_t p = 0; p < configs.size(); ++p) {
             const RunResult &r = results[wi * configs.size() + p];
             fig.columns[p].values.push_back(
-                r.failed ? failedPoint : r.ipc);
+                r.failed ? failPoint(r.failKind) : r.ipc);
         }
     }
     return fig;

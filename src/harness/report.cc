@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/str.hh"
+#include "harness/experiment.hh"
 
 namespace loopsim
 {
@@ -33,10 +34,11 @@ printFigure(std::ostream &os, const FigureData &fig, ValueFormat format)
         for (const auto &c : fig.columns) {
             std::string cell = "-";
             if (row < c.values.size()) {
-                // Fail-soft runs leave NaN points; render them
-                // distinctly instead of printing "nan".
+                // Fail-soft runs leave tagged NaN points; render the
+                // verdict ("fail" / "crash" / "timeout") instead of
+                // printing "nan".
                 if (!std::isfinite(c.values[row]))
-                    cell = "fail";
+                    cell = failKindName(pointFailKind(c.values[row]));
                 else if (format == ValueFormat::Percent)
                     cell = formatPercent(c.values[row], 1);
                 else

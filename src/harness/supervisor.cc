@@ -1,0 +1,480 @@
+#include "harness/supervisor.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "core/machine_config.hh"
+#include "store/record.hh"
+
+namespace loopsim
+{
+
+namespace
+{
+
+/** Isolation / deadline gates; env-latched like tickProfilingActive(). */
+std::atomic<bool> isolateFlag{false};
+std::atomic<bool> isolateInit{false};
+std::atomic<std::uint64_t> deadlineMsFlag{0};
+std::atomic<bool> deadlineInit{false};
+
+/** Campaign shutdown flag polled while a child is in flight. */
+std::atomic<const std::atomic<bool> *> stopFlag{nullptr};
+
+bool
+stopRequested()
+{
+    const std::atomic<bool> *f = stopFlag.load(std::memory_order_acquire);
+    return f != nullptr && f->load(std::memory_order_acquire);
+}
+
+/**
+ * The wire record travels between two processes of the same binary, so
+ * the store codec's fingerprint check only needs a fixed sentinel; the
+ * CRC is what catches a child that died mid-write.
+ */
+const store::Fingerprint kWireFp{0x6c6f6f7073696d00ull,
+                                 0x00737570657276ull};
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool
+readU32(const std::string &in, std::size_t &at, std::uint32_t &v)
+{
+    if (in.size() - at < 4)
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    at += 4;
+    return true;
+}
+
+bool
+readU64(const std::string &in, std::size_t &at, std::uint64_t &v)
+{
+    if (in.size() - at < 8)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    at += 8;
+    return true;
+}
+
+/**
+ * Wire format, child -> parent:
+ *   [u32 record_len][record]            store codec, kWireFp
+ *   [u32 profile_count]                 tick-profile extension —
+ *   per entry: [u32 len][name][u64 ticks][u64 seconds bits]
+ * The record codec excludes tickProfile by design (replaying wall
+ * clock from the store would fabricate telemetry), but here the
+ * profile is this run's real measurement, just taken in the child.
+ */
+std::string
+encodeWire(const RunResult &result)
+{
+    std::string rec = store::encodeRecord(kWireFp, result);
+    std::string wire;
+    wire.reserve(4 + rec.size() + 64);
+    appendU32(wire, static_cast<std::uint32_t>(rec.size()));
+    wire.append(rec);
+    appendU32(wire, static_cast<std::uint32_t>(result.tickProfile.size()));
+    for (const ComponentProfile &p : result.tickProfile) {
+        appendU32(wire, static_cast<std::uint32_t>(p.name.size()));
+        wire.append(p.name);
+        appendU64(wire, p.ticks);
+        appendU64(wire, std::bit_cast<std::uint64_t>(p.seconds));
+    }
+    return wire;
+}
+
+bool
+decodeWire(const std::string &wire, RunResult &result)
+{
+    std::size_t at = 0;
+    std::uint32_t rec_len = 0;
+    if (!readU32(wire, at, rec_len) || wire.size() - at < rec_len)
+        return false;
+    if (!store::decodeRecord(wire.substr(at, rec_len), kWireFp, result))
+        return false;
+    at += rec_len;
+    std::uint32_t profiles = 0;
+    if (!readU32(wire, at, profiles))
+        return false;
+    for (std::uint32_t i = 0; i < profiles; ++i) {
+        ComponentProfile p;
+        std::uint32_t len = 0;
+        if (!readU32(wire, at, len) || wire.size() - at < len)
+            return false;
+        p.name.assign(wire, at, len);
+        at += len;
+        std::uint64_t sec_bits = 0;
+        if (!readU64(wire, at, p.ticks) || !readU64(wire, at, sec_bits))
+            return false;
+        p.seconds = std::bit_cast<double>(sec_bits);
+        result.tickProfile.push_back(std::move(p));
+    }
+    return at == wire.size();
+}
+
+bool
+writeAll(int fd, const char *data, std::size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/**
+ * The child half: reset the parent's campaign signal handlers, run the
+ * cell against the pre-fork-resolved configuration (never touching the
+ * overlay mutex — another parent thread may have held it at fork
+ * time), ship the wire record and _exit without running atexit
+ * handlers that belong to the parent's state.
+ */
+[[noreturn]] void
+childMain(int fd, const RunSpec &spec, const Config &resolved,
+          const RetryPolicy &policy)
+{
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    int status = 0;
+    try {
+        RunResult res = runOnceResilientWith(spec, resolved, policy);
+        std::string wire = encodeWire(res);
+        if (!writeAll(fd, wire.data(), wire.size()))
+            status = 3;
+    } catch (const std::exception &err) {
+        // runOnceResilientWith is fail-soft by default; anything that
+        // still escapes (fatal_if on a malformed spec, bad_alloc, a
+        // !fail_soft rethrow) is a real worker death.
+        std::fprintf(stderr, "isolated worker: %s\n", err.what());
+        status = 2;
+    } catch (...) {
+        status = 2;
+    }
+    ::close(fd);
+    std::fflush(nullptr);
+    ::_exit(status);
+}
+
+enum class ChildFate
+{
+    Ok,      ///< clean exit, wire record parsed
+    Crash,   ///< signal death, nonzero exit, or garbled record
+    Timeout, ///< wall-clock deadline overrun; SIGKILLed
+    Interrupted,
+};
+
+/** One fork/reap round. Fills @p result only on Ok. */
+ChildFate
+superviseOnce(const RunSpec &spec, const Config &resolved,
+              const RetryPolicy &policy, std::uint64_t deadline_ms,
+              RunResult &result, std::string &why)
+{
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        why = std::string("pipe failed: ") + std::strerror(errno);
+        return ChildFate::Crash;
+    }
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        why = std::string("fork failed: ") + std::strerror(errno);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return ChildFate::Crash;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        childMain(fds[1], spec, resolved, policy);
+    }
+    ::close(fds[1]);
+
+    using clock = std::chrono::steady_clock;
+    const auto started = clock::now();
+    const bool bounded = deadline_ms != 0;
+    const auto deadline =
+        started + std::chrono::milliseconds(deadline_ms);
+
+    std::string wire;
+    bool timed_out = false;
+    bool interrupted = false;
+    for (;;) {
+        if (stopRequested()) {
+            interrupted = true;
+            break;
+        }
+        // Poll in short slices so the deadline and the shutdown flag
+        // are both observed even while the child is silent.
+        int slice_ms = 100;
+        if (bounded) {
+            auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - clock::now());
+            if (left.count() <= 0) {
+                timed_out = true;
+                break;
+            }
+            slice_ms = static_cast<int>(
+                std::min<long long>(slice_ms, left.count()));
+        }
+        struct pollfd pfd = {fds[0], POLLIN, 0};
+        int pr = ::poll(&pfd, 1, slice_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            timed_out = false;
+            why = std::string("poll failed: ") + std::strerror(errno);
+            break;
+        }
+        if (pr == 0)
+            continue;
+        char buf[4096];
+        ssize_t r = ::read(fds[0], buf, sizeof(buf));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (r == 0)
+            break; // EOF: the child finished (or died) and closed.
+        wire.append(buf, static_cast<std::size_t>(r));
+    }
+    ::close(fds[0]);
+
+    if (timed_out || interrupted)
+        ::kill(pid, SIGKILL);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+
+    if (interrupted)
+        return ChildFate::Interrupted;
+    if (timed_out) {
+        why = "worker overran the " + std::to_string(deadline_ms) +
+              " ms wall-clock deadline";
+        return ChildFate::Timeout;
+    }
+    if (WIFSIGNALED(status)) {
+        int sig = WTERMSIG(status);
+        why = std::string("worker died on signal ") +
+              std::to_string(sig) + " (" + strsignal(sig) + ")";
+        return ChildFate::Crash;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        why = "worker exited with status " +
+              std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                               : -1);
+        return ChildFate::Crash;
+    }
+    if (!decodeWire(wire, result)) {
+        why = "worker returned a garbled result record";
+        return ChildFate::Crash;
+    }
+    return ChildFate::Ok;
+}
+
+/** Interruptible backoff sleep; returns false when shutdown struck. */
+bool
+backoffSleep(std::uint64_t ms)
+{
+    using clock = std::chrono::steady_clock;
+    const auto until = clock::now() + std::chrono::milliseconds(ms);
+    while (clock::now() < until) {
+        if (stopRequested())
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+SupervisorPolicy
+SupervisorPolicy::fromConfig(const Config &cfg)
+{
+    SupervisorPolicy p;
+    p.attempts = static_cast<unsigned>(
+        cfg.getUint("integrity.supervisor.attempts", p.attempts));
+    p.deadlineMs = cfg.getUint("integrity.supervisor.deadline_ms",
+                               loopsim::deadlineMs());
+    p.backoffMs = cfg.getUint("integrity.supervisor.backoff_ms",
+                              p.backoffMs);
+    p.backoffGrowth = cfg.getDouble("integrity.supervisor.backoff_growth",
+                                    p.backoffGrowth);
+    p.backoffMaxMs = cfg.getUint("integrity.supervisor.backoff_max_ms",
+                                 p.backoffMaxMs);
+    fatal_if(p.attempts == 0, "supervisor policy with zero attempts");
+    return p;
+}
+
+bool
+isolationSupported()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+isolationActive()
+{
+    if (!isolateInit.load(std::memory_order_acquire)) {
+        // Benign race: both racers compute the same env-derived value.
+        const char *env = std::getenv("LOOPSIM_ISOLATE"); // NOLINT(concurrency-mt-unsafe)
+        bool on = env != nullptr && *env != '\0' &&
+                  std::strcmp(env, "0") != 0;
+        isolateFlag.store(on, std::memory_order_relaxed);
+        isolateInit.store(true, std::memory_order_release);
+    }
+    return isolateFlag.load(std::memory_order_relaxed) &&
+           isolationSupported();
+}
+
+void
+setIsolation(bool on)
+{
+    if (on && !isolationSupported()) {
+        warn("process isolation is not supported on this platform; "
+             "cells will run in-process");
+    }
+    isolateInit.store(true, std::memory_order_release);
+    isolateFlag.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+deadlineMs()
+{
+    if (!deadlineInit.load(std::memory_order_acquire)) {
+        const char *env = std::getenv("LOOPSIM_DEADLINE_MS"); // NOLINT(concurrency-mt-unsafe)
+        std::uint64_t ms = 0;
+        if (env != nullptr && *env != '\0')
+            ms = std::strtoull(env, nullptr, 10);
+        deadlineMsFlag.store(ms, std::memory_order_relaxed);
+        deadlineInit.store(true, std::memory_order_release);
+    }
+    return deadlineMsFlag.load(std::memory_order_relaxed);
+}
+
+void
+setDeadlineMs(std::uint64_t ms)
+{
+    deadlineInit.store(true, std::memory_order_release);
+    deadlineMsFlag.store(ms, std::memory_order_relaxed);
+}
+
+void
+setSupervisorStopFlag(const std::atomic<bool> *flag)
+{
+    stopFlag.store(flag, std::memory_order_release);
+}
+
+SupervisedOutcome
+runCellSupervised(const RunSpec &spec, const RetryPolicy &policy,
+                  const std::string &fallback_label)
+{
+    fatal_if(!isolationSupported(),
+             "runCellSupervised on a platform without fork()");
+
+    // Resolve the configuration before forking: the child must never
+    // take the overlay mutex (see the fork-safety note in the header).
+    const Config resolved = effectiveRunConfig(spec);
+    const SupervisorPolicy sup = SupervisorPolicy::fromConfig(resolved);
+
+    SupervisedOutcome out;
+    FailKind last_kind = FailKind::Crash;
+    std::string last_why;
+    double backoff = static_cast<double>(sup.backoffMs);
+    for (unsigned attempt = 1;; ++attempt) {
+        out.attempts = attempt;
+        std::string why;
+        ChildFate fate = superviseOnce(spec, resolved, policy,
+                                       sup.deadlineMs, out.result, why);
+        if (fate == ChildFate::Ok)
+            return out;
+        if (fate == ChildFate::Interrupted) {
+            out.interrupted = true;
+            return out;
+        }
+
+        last_kind = fate == ChildFate::Timeout ? FailKind::Timeout
+                                               : FailKind::Crash;
+        last_why = why;
+        if (fate == ChildFate::Timeout)
+            ++out.timeouts;
+        else
+            ++out.crashes;
+        warn("isolated run \"", spec.workload.label, "\" attempt ",
+             attempt, "/", sup.attempts, " ",
+             failKindName(last_kind), "ed: ", why);
+        if (attempt >= sup.attempts)
+            break;
+
+        auto wait = static_cast<std::uint64_t>(backoff);
+        wait = std::min(wait, sup.backoffMaxMs);
+        ++out.backoffWaits;
+        out.backoffWaitMs += wait;
+        if (!backoffSleep(wait)) {
+            out.interrupted = true;
+            return out;
+        }
+        backoff *= sup.backoffGrowth;
+    }
+
+    // Every spawn died: degrade to a crash/timeout figure cell, the
+    // same fail-soft shape runOnceResilient() produces for SimErrors.
+    RunResult res;
+    res.failed = true;
+    res.failKind = last_kind;
+    res.error = last_why;
+    res.workloadLabel = figureLabel(spec.workload);
+    if (res.workloadLabel.empty())
+        res.workloadLabel = fallback_label;
+    res.pipeLabel = MachineConfig::fromConfig(resolved).pipeLabel();
+    res.ipc = failPoint(last_kind);
+    out.result = std::move(res);
+    return out;
+}
+
+} // namespace loopsim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Crash-isolated cell execution: forked worker processes, wall-clock
+ * deadlines, and backoff respawns.
+ *
+ * The campaign executor (harness/campaign.hh) normally runs cells on
+ * threads inside one process, which means one segfaulting, aborting or
+ * livelocked cell takes the whole multi-hour figure campaign with it.
+ * Under isolation (--isolate / LOOPSIM_ISOLATE) each cell instead runs
+ * in a fork()ed worker: the child executes runOnceResilient() against
+ * a pre-resolved configuration, serializes its RunResult over a pipe
+ * (the store's record codec, so doubles survive bit-exactly and a
+ * truncated write is detected by CRC) and _exit()s. The parent reaps
+ * every outcome:
+ *
+ *  - clean exit + valid record  -> the result, healthy or fail-soft
+ *  - death by signal (SIGSEGV, abort, OOM kill), nonzero exit, or a
+ *    garbled record             -> FailKind::Crash
+ *  - wall-clock deadline overrun (--deadline-ms) -> SIGKILL + reap ->
+ *    FailKind::Timeout — a *real-time* watchdog complementing the
+ *    PR-1 cycle-budget watchdog, which cannot fire when the process
+ *    stops ticking simulated time at all
+ *
+ * Crashes and timeouts are respawned with exponential backoff up to a
+ * capped attempt budget, then degrade to a crash/timeout figure cell
+ * next to the existing fail state. Results are byte-identical to an
+ * in-process run: the child computes exactly what the thread would
+ * have, and the record codec round-trips every figure-visible field.
+ *
+ * Fork-safety: the parent is multi-threaded (campaign workers fork
+ * concurrently), so the child must not touch a lock another parent
+ * thread held at fork time. The child therefore runs against the
+ * configuration resolved *before* the fork (runOnceResilientWith(),
+ * no overlay mutex), and glibc's atfork handlers keep malloc usable.
+ * Loop-event traces only exist in real in-process executions, so the
+ * campaign executor bypasses isolation while trace collection is on
+ * (the same contract the result store follows); tick profiles are
+ * shipped back through the pipe as a wire extension.
+ */
+
+#ifndef LOOPSIM_HARNESS_SUPERVISOR_HH
+#define LOOPSIM_HARNESS_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace loopsim
+{
+
+/** How the supervisor respawns crashed / timed-out workers. */
+struct SupervisorPolicy
+{
+    /** Total spawn attempts per cell (first try included). */
+    unsigned attempts = 2;
+    /** Wall-clock deadline per attempt in ms; 0 = none. */
+    std::uint64_t deadlineMs = 0;
+    /** First respawn backoff wait in ms (doubled per retry by
+     *  backoffGrowth, capped at backoffMaxMs). */
+    std::uint64_t backoffMs = 100;
+    double backoffGrowth = 2.0;
+    std::uint64_t backoffMaxMs = 2000;
+
+    /**
+     * integrity.supervisor.attempts / .deadline_ms / .backoff_ms /
+     * .backoff_growth / .backoff_max_ms, with the process-wide
+     * deadline (deadlineMs()) as the .deadline_ms default — so whole
+     * campaigns tune supervision through overlays, like retries.
+     */
+    static SupervisorPolicy fromConfig(const Config &cfg);
+};
+
+/** What supervising one cell cost, for campaign telemetry. */
+struct SupervisedOutcome
+{
+    RunResult result;
+    /** Spawn attempts actually made (1 when the first child lived). */
+    unsigned attempts = 1;
+    /** Worker deaths observed across attempts (signal/exit/garble). */
+    unsigned crashes = 0;
+    /** Deadline overruns observed across attempts. */
+    unsigned timeouts = 0;
+    /** Backoff sleeps taken between respawns, and their total. */
+    unsigned backoffWaits = 0;
+    std::uint64_t backoffWaitMs = 0;
+    /** A graceful shutdown interrupted this cell: the in-flight child
+     *  was reaped early and result must not be journaled or used. */
+    bool interrupted = false;
+};
+
+/** @name Process-wide isolation configuration
+ * Precedence: setIsolation() (the bench binaries' --isolate flag) >
+ * the LOOPSIM_ISOLATE environment variable ("0"/"" = off) > off.
+ * The deadline follows the same scheme with --deadline-ms /
+ * LOOPSIM_DEADLINE_MS; 0 means no deadline. */
+/// @{
+bool isolationSupported(); ///< false on platforms without fork()
+void setIsolation(bool on);
+bool isolationActive();
+void setDeadlineMs(std::uint64_t ms);
+std::uint64_t deadlineMs();
+/// @}
+
+/**
+ * Cooperative shutdown: while @p flag (owned by the caller, may be
+ * null to detach) reads true, in-flight children are SIGKILLed and
+ * reaped, backoff sleeps cut short, and outcomes come back with
+ * interrupted set. The campaign executor points this at its
+ * SIGINT/SIGTERM flag for the duration of a run.
+ */
+void setSupervisorStopFlag(const std::atomic<bool> *flag);
+
+/**
+ * Run one cell in a supervised forked worker. @p policy is the retry
+ * policy forwarded to the in-child runOnceResilient() (per-run
+ * integrity.retry.* keys still win inside the child); the supervisor's
+ * own spawn policy is resolved from the cell's effective config. The
+ * result's labels are always filled (from @p fallback_label when the
+ * spec itself is unprintable), so crash/timeout cells render like any
+ * other fail-soft cell.
+ */
+SupervisedOutcome runCellSupervised(const RunSpec &spec,
+                                    const RetryPolicy &policy,
+                                    const std::string &fallback_label);
+
+} // namespace loopsim
+
+#endif // LOOPSIM_HARNESS_SUPERVISOR_HH

@@ -1,7 +1,11 @@
 #include "integrity/fault_injector.hh"
 
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "base/logging.hh"
 #include "sim/config.hh"
@@ -58,6 +62,10 @@ FaultPlan::fromConfig(const Config &cfg)
     p.earlyOperandReadCycles =
         cfg.getUint("integrity.fault.early_operand_read",
                     p.earlyOperandReadCycles);
+    p.crashAtOp = cfg.getUint("integrity.fault.crash_at_op", p.crashAtOp);
+    p.hangAtOp = cfg.getUint("integrity.fault.hang_at_op", p.hangAtOp);
+    p.crashSignal = static_cast<int>(
+        cfg.getUint("integrity.fault.crash_signal", SIGABRT));
     return p;
 }
 
@@ -109,6 +117,36 @@ bool
 FaultInjector::corruptBranch()
 {
     return draw(FaultKind::BranchCorrupt, cfg.branchCorruptRate);
+}
+
+void
+FaultInjector::opRetired(std::uint64_t total_retired)
+{
+    if (cfg.crashAtOp != 0 && total_retired == cfg.crashAtOp) {
+        // stderr straight through stdio: the process is about to die
+        // and must not unwind or flush through C++ stream state.
+        std::fprintf(stderr,
+                     "injected crash_at_op=%llu: raising signal %d\n",
+                     static_cast<unsigned long long>(cfg.crashAtOp),
+                     cfg.crashSignal);
+        std::fflush(stderr);
+        std::raise(cfg.crashSignal != 0 ? cfg.crashSignal : SIGABRT);
+        // SIGKILL cannot be caught; for catchable signals a handler in
+        // the embedding process might return — make death certain.
+        std::abort();
+    }
+    if (cfg.hangAtOp != 0 && total_retired == cfg.hangAtOp) {
+        std::fprintf(stderr,
+                     "injected hang_at_op=%llu: spinning on the wall "
+                     "clock\n",
+                     static_cast<unsigned long long>(cfg.hangAtOp));
+        std::fflush(stderr);
+        for (;;) {
+            // loop:exempt(deliberate real-time hang; the supervisor's
+            // wall-clock deadline is what reaps it)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    }
 }
 
 Cycle

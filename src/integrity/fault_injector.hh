@@ -68,12 +68,29 @@ struct FaultPlan
      */
     Cycle earlyBranchReadCycles = 0;
     Cycle earlyOperandReadCycles = 0;
+    /**
+     * Process-level faults (not random draws; 0 = off): when the
+     * core's Nth retired micro-op (warmup included) completes, kill
+     * the host process with @p crashSignal / spin forever on the wall
+     * clock. These exist to prove the supervision layer
+     * (harness/supervisor.hh) end-to-end — without --isolate they
+     * take the whole campaign down, which is precisely the failure
+     * mode the supervisor is for. Scoped to matching cells via
+     * integrity.fault.crash_target / .hang_target (figure-label
+     * substrings; see gateProcessFaults() in harness/experiment.cc).
+     */
+    std::uint64_t crashAtOp = 0;
+    std::uint64_t hangAtOp = 0;
+    /** Signal delivered by crashAtOp (default SIGABRT; SIGKILL for
+     *  the kill-a-worker-mid-run tests). */
+    int crashSignal = 0;
 
     /**
      * integrity.fault.enable, .seed, .wakeup_drop, .wakeup_delay /
      * .wakeup_delay_cycles, .load_delay / .load_delay_cycles,
      * .branch_corrupt, .port_stall / .port_stall_cycles,
-     * .early_branch_read, .early_operand_read.
+     * .early_branch_read, .early_operand_read, .crash_at_op /
+     * .crash_signal, .hang_at_op.
      */
     static FaultPlan fromConfig(const Config &cfg);
 };
@@ -99,6 +116,20 @@ class FaultInjector
     Cycle earlyBranchRead() const { return cfg.earlyBranchReadCycles; }
     /** Cycles to deliver operand-miss feedback early. */
     Cycle earlyOperandRead() const { return cfg.earlyOperandReadCycles; }
+    /**
+     * Process-fault trigger, called by the retire stage with the
+     * core's cumulative retired micro-op count. Crashes the host
+     * process (raise(crash_signal)) or hangs it on the wall clock when
+     * the count reaches crash_at_op / hang_at_op — never returns in
+     * either case. No-op (one compare) when both knobs are 0.
+     */
+    void opRetired(std::uint64_t total_retired);
+    /** True when either process-level fault is armed. */
+    bool
+    processFaultsArmed() const
+    {
+        return cfg.crashAtOp != 0 || cfg.hangAtOp != 0;
+    }
     /// @}
 
     std::uint64_t injected(FaultKind kind) const;

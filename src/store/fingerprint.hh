@@ -39,8 +39,11 @@ namespace store
  * Record-format version: bumping it invalidates every existing record
  * (it is hashed into the fingerprint *and* checked in the record
  * header, so stale files simply read as misses).
+ *
+ * v2: RunResult::failKind joined the payload (crash/timeout verdicts
+ * must replay from journals byte-identically).
  */
-constexpr std::uint32_t kSchemaVersion = 1;
+constexpr std::uint32_t kSchemaVersion = 2;
 
 /**
  * Model epoch: bump when a simulator change alters results for

@@ -187,6 +187,7 @@ encodeRecord(const Fingerprint &fp, const RunResult &result)
     enc.u64(result.retired);
     enc.f64(result.ipc);
     enc.boolean(result.failed);
+    enc.u32(static_cast<std::uint32_t>(result.failKind));
     enc.str(result.error);
     enc.doubles(result.operandSourceFractions);
     enc.doubles(result.operandSourceCounts);
@@ -238,15 +239,20 @@ decodeRecord(const std::string &bytes, const Fingerprint &expect,
     RunResult out;
     Decoder dec(payload, payload_size);
     std::uint64_t cycles = 0;
+    std::uint32_t fail_kind = 0;
     std::uint32_t scalar_count = 0;
     if (!dec.str(out.workloadLabel) || !dec.str(out.pipeLabel) ||
         !dec.u64(cycles) || !dec.u64(out.retired) || !dec.f64(out.ipc) ||
-        !dec.boolean(out.failed) || !dec.str(out.error) ||
+        !dec.boolean(out.failed) || !dec.u32(fail_kind) ||
+        !dec.str(out.error) ||
         !dec.doubles(out.operandSourceFractions) ||
         !dec.doubles(out.operandSourceCounts) ||
         !dec.doubles(out.gapCdf) || !dec.u32(scalar_count)) {
         return false;
     }
+    if (fail_kind > static_cast<std::uint32_t>(FailKind::Timeout))
+        return false;
+    out.failKind = static_cast<FailKind>(fail_kind);
     out.cycles = cycles;
     for (std::uint32_t i = 0; i < scalar_count; ++i) {
         std::string name;

@@ -15,8 +15,8 @@
  *
  * The payload is the RunResult serialized with length-prefixed strings
  * and bit-pattern doubles — everything the figure assemblers consume
- * (labels, cycles/retired/ipc, failure marker + error, operand source
- * vectors, the gap CDF, exported scalars). Deliberately excluded:
+ * (labels, cycles/retired/ipc, failure marker + kind + error, operand
+ * source vectors, the gap CDF, exported scalars). Deliberately excluded:
  * loopEvents (trace collection forces real simulation, see
  * result_store.hh) and tickProfile (host wall clock; replaying it
  * would fabricate telemetry).

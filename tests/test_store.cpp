@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -59,11 +61,15 @@ wedgeConfig()
     return cfg;
 }
 
-/** A fresh, empty store directory under the test temp root. */
+/** A fresh, empty store directory under the test temp root.  The pid suffix
+ *  keeps the aggregate and label-specific test binaries (which compile the
+ *  same sources) from clobbering each other when ctest runs them in
+ *  parallel. */
 fs::path
 freshDir(const std::string &name)
 {
-    fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::path dir =
+        fs::path(::testing::TempDir()) / (name + "." + std::to_string(::getpid()));
     fs::remove_all(dir);
     fs::create_directories(dir);
     return dir;

@@ -1,16 +1,19 @@
 /**
  * @file
- * loopsim-store: inspect and prune a persistent campaign result store.
+ * loopsim-store: inspect and prune a persistent campaign result store
+ * and its campaign journals.
  *
  *   loopsim-store list   [--store DIR]              one line per record
  *   loopsim-store stat   [--store DIR]              aggregate summary
  *   loopsim-store verify [--store DIR]              full CRC validation
  *   loopsim-store gc     [--store DIR] --max-bytes N   prune to budget
+ *   loopsim-store journal list|stat|verify|prune [--journal DIR]
  *
  * The store directory comes from --store or the LOOPSIM_STORE
- * environment variable, matching the bench binaries. Exit status: 0 on
- * success (verify: store fully valid), 1 when verify found corrupt
- * records, 2 on usage errors.
+ * environment variable, the journal directory from --journal or
+ * LOOPSIM_JOURNAL, matching the bench binaries. Exit status: 0 on
+ * success (verify: everything fully valid), 1 when verify found
+ * corrupt records / journals, 2 on usage errors.
  */
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "store/fingerprint.hh"
+#include "store/journal.hh"
 #include "store/result_store.hh"
 
 using namespace loopsim;
@@ -43,10 +47,19 @@ usage(std::ostream &os, int exit_code)
           "if any is corrupt\n"
           "  gc --max-bytes N     evict invalid then oldest records "
           "until <= N bytes\n"
+          "  journal list         one line per campaign journal: plan, "
+          "progress, verdicts\n"
+          "  journal stat         aggregate journal summary\n"
+          "  journal verify       validate every journal; exit 1 on "
+          "corruption or torn tails\n"
+          "  journal prune        remove completed and unreadable "
+          "journals\n"
           "\n"
           "options:\n"
           "  --store DIR          store directory (default: "
-          "$LOOPSIM_STORE)\n";
+          "$LOOPSIM_STORE)\n"
+          "  --journal DIR        journal directory (default: "
+          "$LOOPSIM_JOURNAL)\n";
     return exit_code;
 }
 
@@ -168,6 +181,136 @@ cmdGc(const std::string &dir, const std::vector<std::string> &args)
     return 0;
 }
 
+std::string
+resolveJournalDir(const std::vector<std::string> &args)
+{
+    std::string dir = flagValue(args, "--journal");
+    if (dir.empty())
+        dir = store::journalPath();
+    if (dir.empty()) {
+        std::cerr << "loopsim-store: no journal directory (pass "
+                     "--journal DIR or set LOOPSIM_JOURNAL)\n";
+        std::exit(2);
+    }
+    return dir;
+}
+
+void
+printJournalLine(const store::JournalInfo &j)
+{
+    std::cout << j.planFp.hex() << "  " << j.bytes << "B  ";
+    if (!j.headerOk) {
+        std::cout << "UNREADABLE  " << j.path << "\n";
+        return;
+    }
+    std::cout << j.entries << "/" << j.planCells << " cells";
+    if (j.poison > 0)
+        std::cout << " (" << j.poison << " poison)";
+    if (j.complete())
+        std::cout << "  complete";
+    if (j.truncatedTail())
+        std::cout << "  torn-tail";
+    std::cout << "\n";
+}
+
+int
+cmdJournalList(const std::string &dir)
+{
+    const auto journals = store::scanJournals(dir);
+    for (const store::JournalInfo &j : journals)
+        printJournalLine(j);
+    std::cout << journals.size() << " journal(s) in " << dir << "\n";
+    return 0;
+}
+
+int
+cmdJournalStat(const std::string &dir)
+{
+    const auto journals = store::scanJournals(dir);
+    std::uint64_t bytes = 0;
+    std::size_t unreadable = 0;
+    std::size_t complete = 0;
+    std::size_t torn = 0;
+    std::size_t entries = 0;
+    std::size_t poison = 0;
+    for (const store::JournalInfo &j : journals) {
+        bytes += j.bytes;
+        entries += j.entries;
+        poison += j.poison;
+        if (!j.headerOk)
+            ++unreadable;
+        if (j.complete())
+            ++complete;
+        if (j.headerOk && j.truncatedTail())
+            ++torn;
+    }
+    std::cout << "journals:       " << dir << "\n"
+              << "files:          " << journals.size() << "\n"
+              << "bytes:          " << bytes << "\n"
+              << "complete:       " << complete << "\n"
+              << "unreadable:     " << unreadable << "\n"
+              << "torn-tails:     " << torn << "\n"
+              << "cells:          " << entries << "\n"
+              << "poison-cells:   " << poison << "\n"
+              << "schema-current: " << store::kSchemaVersion << "\n";
+    return 0;
+}
+
+int
+cmdJournalVerify(const std::string &dir)
+{
+    std::size_t bad = 0;
+    const auto journals = store::scanJournals(dir);
+    for (const store::JournalInfo &j : journals) {
+        if (!j.headerOk) {
+            std::cout << "UNREADABLE  " << j.path << "\n";
+            ++bad;
+        } else if (j.truncatedTail()) {
+            std::cout << "TORN-TAIL   " << j.path << " ("
+                      << (j.bytes - j.validBytes)
+                      << "B past the valid prefix)\n";
+            ++bad;
+        }
+    }
+    std::cout << journals.size() << " journal(s), " << bad
+              << " damaged\n";
+    return bad == 0 ? 0 : 1;
+}
+
+int
+cmdJournalPrune(const std::string &dir)
+{
+    const std::size_t before = store::scanJournals(dir).size();
+    const std::size_t removed = store::pruneJournals(dir);
+    std::cout << "scanned " << before << " journal(s), removed "
+              << removed << " (completed or unreadable)\n";
+    return 0;
+}
+
+int
+cmdJournal(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::cerr << "journal needs a subcommand "
+                     "(list|stat|verify|prune)\n";
+        return 2;
+    }
+    const std::string sub = args[0];
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+    const std::string dir = resolveJournalDir(rest);
+    if (sub == "list")
+        return cmdJournalList(dir);
+    if (sub == "stat")
+        return cmdJournalStat(dir);
+    if (sub == "verify")
+        return cmdJournalVerify(dir);
+    if (sub == "prune")
+        return cmdJournalPrune(dir);
+    std::cerr << "loopsim-store: unknown journal subcommand \"" << sub
+              << "\"\n";
+    return 2;
+}
+
 } // anonymous namespace
 
 int
@@ -180,6 +323,9 @@ main(int argc, char **argv)
         return usage(std::cout, 0);
 
     std::vector<std::string> args(argv + 2, argv + argc);
+    if (command == "journal")
+        return cmdJournal(args);
+
     const std::string dir = resolveDir(args);
 
     if (command == "list")
