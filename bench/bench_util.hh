@@ -354,12 +354,30 @@ class CampaignRecorder
               << ", \"backoff_waits\": " << t.backoffWaits
               << ", \"backoff_wait_ms\": " << t.backoffWaitMs
               << ", \"resumed\": " << t.resumed << "}";
+        if (!t.workers.empty()) {
+            entry << ", \"workers\": [";
+            for (std::size_t i = 0; i < t.workers.size(); ++i) {
+                const WorkerTelemetry &w = t.workers[i];
+                entry << (i ? ", " : "") << "{\"id\": " << w.id
+                      << ", \"cells\": " << w.cells
+                      << ", \"busy_s\": " << w.busySeconds
+                      << ", \"claim_wait_s\": " << w.claimWaitSeconds
+                      << ", \"idle_s\": " << w.idleSeconds << "}";
+            }
+            entry << "]";
+        }
         if (!t.tickProfile.empty()) {
+            // "seconds" is scaled up from the strided sample of tick
+            // timings the kernel actually measures ("measured_ticks"
+            // of "ticks" — see Simulator::setProfilingStride), so it
+            // estimates the full cost while the clock reads that
+            // would have made --profile runs crawl are batched away.
             entry << ", \"tick_profile\": [";
             for (std::size_t i = 0; i < t.tickProfile.size(); ++i) {
                 const ComponentProfile &p = t.tickProfile[i];
                 entry << (i ? ", " : "") << "{\"component\": \""
                       << p.name << "\", \"ticks\": " << p.ticks
+                      << ", \"measured_ticks\": " << p.measuredTicks
                       << ", \"seconds\": " << p.seconds << "}";
             }
             entry << "]";

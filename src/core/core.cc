@@ -180,38 +180,82 @@ Core::buildStats()
 }
 
 void
-Core::schedule(Event ev)
+Core::schedule(Event ev, bool lazy)
 {
     ev.order = ++eventOrder;
-    events.push(ev);
+    // Writebacks are pure timestamp updates: nothing observes them
+    // until some later read, and reads only happen inside ticks. They
+    // go on the lazy queue, which does not wake the event wheel (see
+    // the member doc), so a cycle whose only activity is a writeback
+    // costs no tick. Callers may route other events the same way when
+    // they can prove the drain-late equivalence (ALU ExecStarts).
+    if (lazy || ev.type == EventType::Writeback)
+        lazyEvents.push(ev);
+    else
+        events.push(ev);
 }
 
 void
 Core::processEvents(Cycle now)
 {
-    while (!events.empty() && events.top().cycle <= now) {
-        Event ev = events.top();
-        events.pop();
-        panic_if(ev.cycle < now, "event missed its cycle");
+    // Drain both queues merged by the heap comparator (cycle, type,
+    // order) — exactly the order a single dense queue would pop. The
+    // two tops can never compare equal: the scheduling order stamp is
+    // unique per event and is the comparator's final tiebreak.
+    while (true) {
+        const bool waking =
+            !events.empty() && events.top().cycle <= now;
+        const bool lazy =
+            !lazyEvents.empty() && lazyEvents.top().cycle <= now;
+        if (!waking && !lazy)
+            break;
+        const bool take_lazy =
+            lazy && (!waking || events.top() > lazyEvents.top());
+        Event ev = take_lazy ? lazyEvents.top() : events.top();
+        if (take_lazy)
+            lazyEvents.pop();
+        else
+            events.pop();
+        // Only the waking queue feeds nextActivity(); lazy events are
+        // *expected* to drain late (with their own cycle as the time).
+        panic_if(!take_lazy && ev.cycle < now,
+                 "event missed its cycle");
 
         // Audit context: evaluated only when a read violates the loop
         // discipline.
         auto violation_context = [&] { return instTimeline(ev.ref); };
 
+        // Kills, traps, redirects and payload deliveries can revert
+        // entries to InIq, clear pending-event counts, release held
+        // loads (squash-side store-seq erasure) or end a recovery
+        // wait — any of which can let the issue stage act this very
+        // cycle. Writebacks cannot (issue gating reads issue-ready
+        // times only), and ExecStart hooks precisely inside
+        // startExecution() via wakeReg()/noteIqWake().
+        if (ev.type != EventType::Writeback &&
+            ev.type != EventType::ExecStart) {
+            noteIqWake(now);
+        }
+
         switch (ev.type) {
           case EventType::Writeback: {
             // The value leaves the forwarding buffer and lands in the
             // RF — unless a kill/squash/reallocation superseded it.
+            // ev.cycle, not now: a lazily-drained writeback must land
+            // with the timestamp the dense kernel would have used.
             if (prf.live(ev.reg) &&
                 prf.actualReadyAt(ev.reg) == ev.expect) {
-                prf.setWriteback(ev.reg, now);
+                prf.setWriteback(ev.reg, ev.cycle);
                 if (draUnit)
-                    draUnit->writeback(ev.reg, now);
+                    draUnit->writeback(ev.reg, ev.cycle);
             }
             break;
           }
           case EventType::ExecStart:
-            startExecution(ev.ref, now, ev.issueStamp);
+            // ev.cycle, not now: a lazily-drained ALU ExecStart must
+            // execute with the start cycle the dense kernel would
+            // have used (waking ExecStarts drain with now == cycle).
+            startExecution(ev.ref, ev.cycle, ev.issueStamp);
             break;
           case EventType::LoadMissKill: {
             // The load loop's resolution reaches the IQ: unwrap it
@@ -517,6 +561,10 @@ Core::squashYounger(ThreadId tid, std::uint64_t stamp, Cycle now)
 void
 Core::tick(Cycle now)
 {
+    // Under the sparse kernel ticks arrive only at wake cycles; the
+    // skipped span is accounted first, against the state that was
+    // frozen across it (before events at `now` can change it).
+    accountIdleSpan(now);
     lastCycle = now + 1;
     *cycles += 1;
 
@@ -530,6 +578,12 @@ Core::tick(Cycle now)
     iqOccupancy->sample(static_cast<double>(iq.size()));
     robOccupancy->sample(static_cast<double>(pool.inUse()));
     sampleLoopOccupancy();
+
+    // The dense reference kernel never reads nextActivity(), so it
+    // skips the wake computation entirely — keeping it a pure
+    // tick-every-cycle baseline with none of the sparse machinery.
+    if (sparseKernel)
+        computeWake(now);
 }
 
 void
@@ -619,7 +673,7 @@ Core::integritySample(Cycle now) const
     s.iqOccupancy = iq.size();
     s.iqCapacity = cfg.iqEntries;
     s.renamePipe = renamePipe.size();
-    s.pendingEvents = events.size();
+    s.pendingEvents = events.size() + lazyEvents.size();
     for (const ThreadState &t : threads)
         s.frontendWork += t.fetchBuffer.size() + t.replayQueue.size();
     s.done = done();

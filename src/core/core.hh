@@ -97,7 +97,23 @@ class Core : public Clocked, public IntegrityProbe
 
     void tick(Cycle now) override;
     bool done() const override;
+    /**
+     * Sparse-kernel wake cycle: the min over the per-stage wake cycles
+     * computed at the end of the previous tick (core_wake.cc). Every
+     * cycle the dense kernel would have *acted* on is covered; cycles
+     * where every stage only re-evaluates frozen state and declines
+     * are skipped and reconstructed by span accounting.
+     */
+    Cycle nextActivity(Cycle now) const override;
     std::string name() const override { return "core"; }
+    /** Under the dense reference kernel the issue-stage gate and the
+     *  post-tick wake computation are switched off entirely, keeping
+     *  the baseline a pure tick-every-cycle machine. */
+    void
+    prepareKernel(KernelMode mode) override
+    {
+        sparseKernel = mode == KernelMode::Sparse;
+    }
 
     /** @name Results */
     /// @{
@@ -250,8 +266,50 @@ class Core : public Clocked, public IntegrityProbe
         }
     };
 
-    void schedule(Event ev);
+    void schedule(Event ev, bool lazy = false);
     void processEvents(Cycle now);
+
+    /** Can this op's ExecStart ride the lazy queue? True for plain
+     *  functional-unit ops on non-DRA machines: their execution only
+     *  writes timestamps, flips the entry to Done and schedules a lazy
+     *  Writeback — no port message, no squash, no same-cycle effect on
+     *  any stage except retire eligibility, which computeWake()'s
+     *  retire clause reconstructs from the issue cycle. Branches
+     *  qualify too when they are statically known to neither redirect
+     *  (forceMispredict is resolved at fetch; wrong-path branches
+     *  never redirect) nor write a link register. Loads (kill/trap
+     *  scheduling at resolve), stores (held-load release, trap
+     *  scheduling), redirecting branches and every DRA execution
+     *  (operand-miss recovery) must keep waking the wheel. */
+    bool
+    lazyExecEligible(const MicroOp &op) const
+    {
+        if (draUnit || op.isLoad() || op.isStore())
+            return false;
+        if (op.isBranch())
+            return !op.forceMispredict && !op.hasDest();
+        return true;
+    }
+
+    /** Record that the issue stage might act at cycle @p c (it can
+     *  only lower the cached iqWakeAt). Every mutation that can make
+     *  an IQ entry confirm-free or issueable earlier must pass
+     *  through here — see issueStage()'s gate. */
+    void
+    noteIqWake(Cycle c)
+    {
+        if (c < iqWakeAt)
+            iqWakeAt = c;
+    }
+
+    /** setIssueReady plus the issue-stage wake note: every scoreboard
+     *  wakeup is a potential issue at @p at. */
+    void
+    wakeReg(PhysReg reg, Cycle at)
+    {
+        prf.setIssueReady(reg, at);
+        noteIqWake(at);
+    }
     /// @}
 
     /** An op waiting to reach the rename point. */
@@ -344,6 +402,20 @@ class Core : public Clocked, public IntegrityProbe
      *  exposed to its repair. */
     void sampleLoopOccupancy();
 
+    /** @name Sparse-kernel support (core_wake.cc, DESIGN.md §14) */
+    /// @{
+    /** Replay the per-cycle accounting the dense kernel would have
+     *  done over the skipped span [lastCycle, @p now): cycle counts,
+     *  occupancy averages, loop-open scalars/distributions, the
+     *  recovery-stall counter and the fetch round-robin cursor. All
+     *  sampled values are frozen across the span (no tick, no event),
+     *  so weighted samples are bit-identical to per-cycle ones. */
+    void accountIdleSpan(Cycle now);
+    /** Recompute wakeCycle from post-tick state: the earliest future
+     *  cycle at which any stage could act. */
+    void computeWake(Cycle now);
+    /// @}
+
     /** One-line timeline of @p ref for discipline-violation reports
      *  (empty when the instruction is no longer live). */
     std::string instTimeline(InstRef ref) const;
@@ -365,8 +437,23 @@ class Core : public Clocked, public IntegrityProbe
     std::vector<ThreadState> threads;
     std::deque<PendingInsert> renamePipe;
 
+    /** Waking events: their cycles feed nextActivity(), so the wheel
+     *  always ticks the core when one is due. */
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events;
+    /** Lazy events (Writebacks, plus ExecStarts that pass
+     *  lazyExecEligible()): updates whose effects are unobservable
+     *  until the next read, which can only happen inside a tick.
+     *  They do NOT wake the wheel; instead
+     *  processEvents() drains both queues in exact dense heap order
+     *  at whatever tick comes next, passing each event its own cycle.
+     *  Since no tick ran between a lazy event's cycle and its drain,
+     *  the state its handler inspects (liveness, expected produce
+     *  cycle) is frozen at the value the dense kernel saw — so the
+     *  late application is bit-identical, and a Writeback-only cycle
+     *  costs no tick at all. */
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        lazyEvents;
     std::uint64_t eventOrder = 0;
 
     /** @name The three paper feedback loops, as checked ports */
@@ -387,6 +474,32 @@ class Core : public Clocked, public IntegrityProbe
     unsigned clusterCursor = 0;
     unsigned rrFetchCursor = 0;
     Cycle renameStallUntil = 0; ///< DRA recovery borrows the RF ports
+    /** Earliest future cycle any stage could act (invalidCycle: only
+     *  another component's activity can change this core's state).
+     *  Starts at 0 so a fresh core's first tick is immediate. */
+    Cycle wakeCycle = 0;
+    /** Cached earliest cycle at which the issue stage could free a
+     *  Done entry or issue an InIq entry (invalidCycle: only a hook —
+     *  noteIqWake()/wakeReg() — can make it act). issueStage() skips
+     *  its O(IQ) scan entirely while this is in the future and
+     *  recomputes it exactly whenever it does scan; computeWake()
+     *  folds it in instead of rescanning the IQ. Starts at 0 so the
+     *  first tick always scans. */
+    /** @name issueStage() scratch (allocated once, reused per tick) */
+    /// @{
+    std::vector<InstRef> scratchFree;
+    std::vector<InstRef> scratchWinner;
+    std::vector<std::uint64_t> scratchWinnerAge;
+    std::vector<std::uint8_t> scratchReady;
+    /// @}
+    Cycle iqWakeAt = 0;
+    /** Set from prepareKernel(): true under the sparse event wheel
+     *  (also the construction default, so a bare core outside any
+     *  Simulator gets the production code paths). The dense reference
+     *  kernel clears it, disabling the issue-stage gate and the wake
+     *  computation. */
+    bool sparseKernel = true;
+    bool tickedOnce = false; ///< span accounting starts at first tick
     Cycle lastCycle = 0;
     Cycle measureStartCycle = 0;
     std::uint64_t measureStartRetired = 0;

@@ -52,51 +52,93 @@ sourceBin(OperandSource src)
 void
 Core::issueStage(Cycle now)
 {
-    // Confirm-free pass: issued instructions leave the IQ once the
-    // execute stage has had time to notify that no reissue is needed
-    // (loop delay) plus the clear delay (§2.2.2).
-    {
-        // Collect first: removal invalidates iteration order.
-        std::vector<InstRef> to_free;
-        for (InstRef ref : iq.occupants()) {
-            const DynInst &inst = pool.get(ref);
-            if (inst.state == InstState::Done &&
-                inst.confirmCycle != invalidCycle &&
-                now >= inst.confirmCycle && inst.pendingEvents == 0) {
-                to_free.push_back(ref);
-            }
-        }
-        for (InstRef ref : to_free) {
-            DynInst &inst = pool.get(ref);
-            iq.remove(pool, ref);
-            ThreadState &t = threads[inst.op.tid];
-            panic_if(t.iqCount == 0, "iq count underflow");
-            --t.iqCount;
-        }
-    }
+    // Sparse-kernel gate: iqWakeAt is a conservative lower bound on
+    // the next cycle at which this stage could free or issue anything
+    // (maintained by the scan below and by noteIqWake()/wakeReg()
+    // hooks at every mutation that can advance an entry's readiness).
+    // While it is in the future the scan is provably a no-op, so skip
+    // the whole O(IQ) pass. The dense reference kernel scans every
+    // cycle unconditionally.
+    if (sparseKernel && now < iqWakeAt)
+        return;
+    iqWakeAt = invalidCycle;
 
-    // Wakeup/select: one instruction per cluster per cycle, oldest
-    // ready first (§2: 8 x 1-wide arbiters over the unified queue).
-    std::vector<InstRef> winner(cfg.numClusters, InstRef{});
-    std::vector<std::uint64_t> winner_age(cfg.numClusters, 0);
+    // One fused pass over the occupants does both jobs — confirm-free
+    // and wakeup/select — touching each DynInst once:
+    //
+    //  * Done entries leave the IQ at their confirm cycle, once the
+    //    execute stage has had time to notify that no reissue is
+    //    needed (loop delay) plus the clear delay (§2.2.2).
+    //  * Issued entries (IQ-EX transit) keep their confirm note
+    //    alive: they turn Done inside their ExecStart event (which
+    //    has no wake hook of its own), so a scan between issue and
+    //    Done must not drop the note made at issue.
+    //  * InIq entries go through wakeup/select: one instruction per
+    //    cluster per cycle, oldest ready first (§2: 8 x 1-wide
+    //    arbiters over the unified queue). The same evaluation yields
+    //    the entry's next wake cycle; entries whose gate cycles are
+    //    unknown (producer unscheduled, recovery wait, never-clearing
+    //    wait bit) contribute nothing here and are woken by the hook
+    //    at the mutation that schedules them.
+    //
+    // The scratch buffers are members so the per-tick cost is a
+    // clear, not an allocation.
+    scratchFree.clear();
+    scratchWinner.assign(cfg.numClusters, InstRef{});
+    scratchWinnerAge.assign(cfg.numClusters, 0);
+    scratchReady.assign(cfg.numClusters, 0);
 
     for (InstRef ref : iq.occupants()) {
         const DynInst &inst = pool.get(ref);
+        if (inst.state == InstState::Done) {
+            if (inst.confirmCycle != invalidCycle &&
+                inst.pendingEvents == 0) {
+                if (now >= inst.confirmCycle)
+                    scratchFree.push_back(ref);
+                else
+                    noteIqWake(inst.confirmCycle);
+            }
+            continue;
+        }
+        if (inst.state == InstState::Issued) {
+            if (inst.confirmCycle != invalidCycle)
+                noteIqWake(inst.confirmCycle);
+            continue;
+        }
         if (inst.state != InstState::InIq || inst.waitingRecovery)
             continue;
-        if (inst.insertCycle == invalidCycle || inst.insertCycle >= now)
-            continue; // cannot issue in the insertion cycle
-        bool ready = true;
-        for (unsigned i = 0; i < 2 && ready; ++i) {
-            if (inst.physSrc[i] == invalidPhysReg)
-                continue;
-            if (inst.operandInPayload[i])
-                continue;
-            if (!prf.issueReady(inst.physSrc[i], now))
-                ready = false;
-        }
-        if (!ready)
+        if (inst.insertCycle == invalidCycle)
             continue;
+        if (inst.insertCycle >= now) {
+            // Cannot issue in the insertion cycle.
+            noteIqWake(inst.insertCycle + 1);
+            continue;
+        }
+        const Cycle r0 = wakeupGateCycle(prf, inst, 0);
+        const Cycle r1 = wakeupGateCycle(prf, inst, 1);
+        const bool ready = (r0 <= now) & (r1 <= now);
+        if (!ready) {
+            if (r0 != invalidCycle && r1 != invalidCycle) {
+                Cycle c = std::max({r0, r1, now + 1});
+                // A load held by the wait bit stays until the table's
+                // lazy clear (or until the older stores execute — a
+                // hooked mutation).
+                if (memDep && inst.op.isLoad()) {
+                    const auto &seqs =
+                        threads[inst.op.tid].unexecStoreSeqs;
+                    if (!seqs.empty() &&
+                        *seqs.begin() <= inst.olderStores &&
+                        memDep->wouldWait(inst.op.pc)) {
+                        const Cycle clear = memDep->nextClearAt();
+                        if (clear == invalidCycle)
+                            continue; // clears via hooks only
+                        c = std::max(c, clear);
+                    }
+                }
+                noteIqWake(c);
+            }
+            continue;
+        }
         // A load whose wait bit is set holds at issue until every
         // older same-thread store has executed (memory trap loop).
         if (memDep && inst.op.isLoad()) {
@@ -104,20 +146,47 @@ Core::issueStage(Cycle now)
                 threads[inst.op.tid].unexecStoreSeqs;
             if (!seqs.empty() && *seqs.begin() <= inst.olderStores &&
                 memDep->shouldWait(inst.op.pc, now)) {
+                const Cycle clear = memDep->nextClearAt();
+                if (clear != invalidCycle)
+                    noteIqWake(std::max(clear, now + 1));
                 continue;
             }
         }
+        // Ready: it either wins below (and leaves the scan's concern,
+        // becoming Issued) or loses its cluster's arbiter and must be
+        // reconsidered next cycle. Only the losers force that revisit,
+        // so the wake note is deferred until the winners are known.
         ClusterId c = inst.cluster;
-        if (!winner[c].valid() || inst.fetchStamp < winner_age[c]) {
-            winner[c] = ref;
-            winner_age[c] = inst.fetchStamp;
+        if (scratchReady[c] < 2)
+            ++scratchReady[c];
+        if (!scratchWinner[c].valid() ||
+            inst.fetchStamp < scratchWinnerAge[c]) {
+            scratchWinner[c] = ref;
+            scratchWinnerAge[c] = inst.fetchStamp;
+        }
+    }
+
+    for (InstRef ref : scratchFree) {
+        DynInst &inst = pool.get(ref);
+        iq.remove(pool, ref);
+        ThreadState &t = threads[inst.op.tid];
+        panic_if(t.iqCount == 0, "iq count underflow");
+        --t.iqCount;
+    }
+
+    for (ClusterId c = 0; c < cfg.numClusters; ++c) {
+        if (scratchReady[c] > 1) {
+            // At least one ready entry loses this cluster's arbiter
+            // and stays ready in the IQ.
+            noteIqWake(now + 1);
+            break;
         }
     }
 
     for (ClusterId c = 0; c < cfg.numClusters; ++c) {
-        if (!winner[c].valid())
+        if (!scratchWinner[c].valid())
             continue;
-        DynInst &inst = pool.get(winner[c]);
+        DynInst &inst = pool.get(scratchWinner[c]);
         inst.state = InstState::Issued;
         inst.issueCycle = now;
         if (inst.firstIssueCycle == invalidCycle)
@@ -135,6 +204,9 @@ Core::issueStage(Cycle now)
         // to a hit-latency earlier has resolved.
         if (cfg.killAllInShadow)
             inst.confirmCycle += mem->l1Latency();
+        // The entry sits Done in the IQ until its confirm cycle; a
+        // later kill reverts it to InIq and re-hooks at reissue.
+        noteIqWake(inst.confirmCycle);
 
         // Speculative wakeup of consumers. Loads assume an L1 hit; in
         // Stall mode load consumers wait for the resolved outcome
@@ -150,17 +222,25 @@ Core::issueStage(Cycle now)
                        << " wakeup dropped (fault injection)");
             } else if (inst.op.isLoad()) {
                 if (cfg.loadRecovery != LoadRecovery::Stall) {
-                    prf.setIssueReady(inst.physDest,
-                                      now + mem->l1Latency() + delay);
+                    wakeReg(inst.physDest,
+                            now + mem->l1Latency() + delay);
                 }
             } else {
-                prf.setIssueReady(inst.physDest,
-                                  now + inst.op.execLatency() + delay);
+                wakeReg(inst.physDest,
+                        now + inst.op.execLatency() + delay);
             }
         }
 
+        // Plain FU ops execute lazily: their ExecStart only stamps
+        // timestamps and flips the entry Done, so it can drain at
+        // whatever tick comes next (the confirm note above and the
+        // wake computation's retire clause cover the cycles at which
+        // that Done becomes stage-visible). Loads, stores, branches
+        // and DRA executions wake the wheel at the exact cycle.
         schedule(Event{now + cfg.iqExLatency, EventType::ExecStart, 0,
-                       winner[c], now, invalidPhysReg, invalidCycle});
+                       scratchWinner[c], now, invalidPhysReg,
+                       invalidCycle},
+                 lazyExecEligible(inst.op));
     }
 }
 
@@ -299,8 +379,8 @@ Core::handleLoadExec(DynInst &inst, InstRef ref, Cycle exec_start)
         prf.setActualReady(dest, produce);
         if (cfg.loadRecovery == LoadRecovery::Stall) {
             Cycle notify = exec_start + l1_lat + cfg.loadFeedback;
-            prf.setIssueReady(dest, std::max(notify,
-                                             produce - cfg.iqExLatency));
+            wakeReg(dest, std::max(notify,
+                                   produce - cfg.iqExLatency));
         }
         schedule(Event{fwd.writebackCycle(produce), EventType::Writeback,
                        0, InstRef{}, invalidCycle, dest, produce});
@@ -323,11 +403,11 @@ Core::handleLoadExec(DynInst &inst, InstRef ref, Cycle exec_start)
     Cycle advance = std::min<Cycle>(cfg.missNotice, cfg.iqExLatency);
     Cycle notify = exec_start + l1_lat + cfg.loadFeedback;
     if (cfg.loadRecovery == LoadRecovery::Stall) {
-        prf.setIssueReady(dest, std::max(notify, produce - advance));
+        wakeReg(dest, std::max(notify, produce - advance));
     } else {
         // Consumers reissue after the kill; they cannot issue before
         // the IQ has processed the mis-speculation.
-        prf.setIssueReady(dest, std::max(notify + 1, produce - advance));
+        wakeReg(dest, std::max(notify + 1, produce - advance));
     }
     schedule(Event{fwd.writebackCycle(produce), EventType::Writeback, 0,
                    InstRef{}, invalidCycle, dest, produce});
@@ -553,6 +633,12 @@ Core::handleStoreOrdering(DynInst &inst, InstRef ref, Cycle exec_start)
     if (!inst.storeExecCounted) {
         inst.storeExecCounted = true;
         t.unexecStoreSeqs.erase(inst.storeSeq);
+        // A held load waiting on this store can issue this very cycle
+        // (ExecStart events drain before the issue stage runs). Loads
+        // only hold on stores through the wait table, so without one
+        // no wake is needed.
+        if (memDep)
+            noteIqWake(exec_start);
     }
     if (!memDep)
         return;

@@ -312,6 +312,15 @@ Core::insertStage(Cycle now)
         iq.insert(pool, head.ref);
         inst.state = InstState::InIq;
         inst.insertCycle = now;
+        // Fresh entries can issue from the cycle after insertion —
+        // but only once their scoreboard gates pass, so note the
+        // exact cycle instead of a blanket revisit. An unknown gate
+        // (producer not yet scheduled) is covered by the wakeReg()
+        // hook at the producer's issue, exactly as in the scan.
+        const Cycle r0 = wakeupGateCycle(prf, inst, 0);
+        const Cycle r1 = wakeupGateCycle(prf, inst, 1);
+        if (r0 != invalidCycle && r1 != invalidCycle)
+            noteIqWake(std::max({r0, r1, now + 1}));
         ThreadState &t = threads[head.tid];
         panic_if(t.pipeCount == 0, "pipe count underflow");
         --t.pipeCount;

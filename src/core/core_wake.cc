@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Sparse-kernel support for the core: span-weighted accounting for the
+ * cycles the event wheel skipped, and the per-stage wake-cycle
+ * computation that feeds Clocked::nextActivity (DESIGN.md §14).
+ *
+ * The contract with the dense reference kernel is exact equivalence:
+ * a wheel that ticks the core at cycle W after last ticking it at
+ * cycle L must produce the same architectural state and the same
+ * statistics as a dense kernel ticking every cycle in (L, W]. That
+ * holds because (a) between ticks nothing can change core state — all
+ * events and all stage actions happen inside tick() — and (b) every
+ * per-cycle stat the dense kernel accumulates on an idle cycle is a
+ * function of that frozen state, so it can be replayed as
+ * value × span-length with bit-identical results (all sampled values
+ * are integers; integer-valued double accumulation is exact to 2^53).
+ *
+ * computeWake() must therefore cover every cycle at which any stage
+ * *could* act. Waking too early is harmless (the tick degenerates to
+ * the dense kernel's idle scan); waking too late would diverge — the
+ * dense differential suite (ctest -L kernel) pins this.
+ *
+ * The IQ does not need a scan here: issueStage() maintains iqWakeAt —
+ * recomputed exactly whenever it scans, lowered conservatively by the
+ * noteIqWake()/wakeReg() hooks at every mutation that can advance an
+ * entry's readiness — so this pass is O(threads), not O(window).
+ */
+
+#include <algorithm>
+
+#include "core/core.hh"
+
+namespace loopsim
+{
+
+void
+Core::accountIdleSpan(Cycle now)
+{
+    if (!tickedOnce) {
+        // First tick: measure spans from here, like the dense kernel
+        // would have (it never ticks before the first run() cycle).
+        tickedOnce = true;
+        lastCycle = now;
+        return;
+    }
+    if (now <= lastCycle)
+        return; // consecutive cycles: nothing was skipped
+    const Cycle gap = now - lastCycle;
+    const double n = static_cast<double>(gap);
+
+    *cycles += n;
+
+    // pickFetchThread() advances the SMT round-robin cursor once per
+    // dense tick, eligible fetch thread or not.
+    rrFetchCursor += static_cast<unsigned>(gap);
+
+    // renameStage() counts one recovery-stall cycle for every cycle
+    // before renameStallUntil, unconditionally.
+    if (renameStallUntil > lastCycle) {
+        const Cycle stalled =
+            std::min(now, renameStallUntil) - lastCycle;
+        *recoveryStallCycles += static_cast<double>(stalled);
+    }
+
+    // End-of-cycle occupancy samples: the occupancies are frozen
+    // across the span, so one weighted sample replays gap identical
+    // per-cycle samples.
+    iqOccupancy->sample(static_cast<double>(iq.size()), gap);
+    robOccupancy->sample(static_cast<double>(pool.inUse()), gap);
+
+    // sampleLoopOccupancy() over the span: port in-flight counts only
+    // change inside ticks, so each loop was either open for the whole
+    // span or closed for the whole span.
+    const double exposed = static_cast<double>(pool.inUse());
+    if (branchPort.inFlight() > 0) {
+        *branchLoopOpenCycles += n;
+        branchLoopOcc->sample(exposed, gap);
+    }
+    if (loadPort.inFlight() > 0) {
+        *loadLoopOpenCycles += n;
+        loadLoopOcc->sample(exposed, gap);
+    }
+    if (operandPort.inFlight() > 0) {
+        *operandLoopOpenCycles += n;
+        operandLoopOcc->sample(exposed, gap);
+    }
+}
+
+void
+Core::computeWake(Cycle now)
+{
+    Cycle wake = invalidCycle;
+    const Cycle next = now + 1;
+    auto consider = [&wake](Cycle c) {
+        if (c < wake)
+            wake = c;
+    };
+
+    // Pipeline events: the waking queue's head is the earliest due
+    // (processEvents pops everything due, so whatever remains is
+    // strictly future). The lazy queue is deliberately absent — its
+    // events have no observable effect until some later tick reads
+    // the timestamps they carry (retire eligibility of a lazily
+    // executed ALU op is covered by the retire clause below).
+    if (!events.empty())
+        consider(std::max(events.top().cycle, next));
+
+    // The issue stage: its own fused scan (or a hook since then)
+    // already knows the earliest cycle it could act.
+    consider(std::max(iqWakeAt, next));
+
+    // Retire: a ROB head that has finished and waits only on its
+    // confirm/produce cycles. Heads blocked on anything else (pending
+    // events, a missing redirect, not yet executed) unblock only via
+    // an event or another stage — both are ticks, which recompute.
+    for (const ThreadState &t : threads) {
+        if (t.rob.empty())
+            continue;
+        const DynInst &inst = pool.get(t.rob.head());
+        // A head whose ExecStart sits on the lazy queue is still
+        // Issued here; it turns Done (with produce = exec start +
+        // latency and no pending events) the moment that event
+        // drains, so its retire cycle is already computable. A
+        // poisoned execution makes this an early wake — harmless.
+        if (inst.state == InstState::Issued &&
+            lazyExecEligible(inst.op) &&
+            inst.issueCycle != invalidCycle &&
+            inst.confirmCycle != invalidCycle) {
+            consider(std::max({inst.confirmCycle,
+                               inst.issueCycle + cfg.iqExLatency +
+                                   inst.op.execLatency(),
+                               next}));
+            continue;
+        }
+        if (inst.state != InstState::Done || !inst.execValid)
+            continue;
+        if (inst.pendingEvents != 0)
+            continue;
+        if (inst.mispredicted && !inst.redirectDone)
+            continue;
+        if (inst.confirmCycle == invalidCycle ||
+            inst.produceCycle == invalidCycle) {
+            continue;
+        }
+        consider(std::max({inst.confirmCycle, inst.produceCycle, next}));
+    }
+
+    // Insert: the DEC-IQ pipe delivers its head at insertAt. An IQ-full
+    // stall clears only through confirm-free/retire/squash (ticks).
+    if (!renamePipe.empty() && !iq.full())
+        consider(std::max(renamePipe.front().insertAt, next));
+
+    // Rename: a fetch-buffer head kept out only by time (its own
+    // pipeline latency or a recovery stall). Resource-blocked heads
+    // (window/register/partition pressure, a barrier, pipe back-up)
+    // unblock only via other stages' progress — ticks.
+    const std::size_t pipe_cap = static_cast<std::size_t>(cfg.width) *
+                                 (cfg.decIqLatency - 2 + 1);
+    if (renamePipe.size() < pipe_cap) {
+        for (const ThreadState &t : threads) {
+            if (t.fetchBuffer.empty())
+                continue;
+            const FetchedOp &fop = t.fetchBuffer.front();
+            if (fop.op.isBarrier() && !t.rob.empty())
+                continue;
+            if (pool.full())
+                continue;
+            if (fop.op.hasDest() && !prf.hasFree())
+                continue;
+            if (threads.size() > 1) {
+                const unsigned n_threads =
+                    static_cast<unsigned>(threads.size());
+                if (t.rob.size() >= cfg.robEntries / n_threads)
+                    continue;
+                if (t.iqCount + t.pipeCount >=
+                    cfg.iqEntries / n_threads) {
+                    continue;
+                }
+            }
+            consider(std::max({fop.renameReadyAt, renameStallUntil,
+                               next}));
+        }
+    }
+
+    // Fetch: a thread eligible in every respect except fetchResumeAt
+    // (I-miss refill, squash resume). Buffer-full or workless threads
+    // change only via rename progress / events — ticks.
+    const std::size_t fetch_cap = static_cast<std::size_t>(cfg.width) *
+                                  (cfg.frontLatency + 2);
+    for (const ThreadState &t : threads) {
+        if (t.fetchBuffer.size() >= fetch_cap)
+            continue;
+        const bool has_work = !t.replayQueue.empty() || !t.exhausted ||
+                              (t.onWrongPath && cfg.wrongPathFetch);
+        if (!has_work)
+            continue;
+        if (t.onWrongPath && !cfg.wrongPathFetch)
+            continue;
+        consider(std::max(t.fetchResumeAt, next));
+    }
+
+    wakeCycle = wake;
+}
+
+Cycle
+Core::nextActivity(Cycle now) const
+{
+    // wakeCycle starts at 0, so a fresh core asks for an immediate
+    // tick; afterwards it is always > the cycle that computed it.
+    return std::max(wakeCycle, now);
+}
+
+} // namespace loopsim

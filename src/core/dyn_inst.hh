@@ -182,7 +182,13 @@ class InstPool
         freeList.pop_back();
         DynInst &inst = slots[idx];
         std::uint32_t gen = inst.gen + 1;
+        // Recycle the consumers vector's heap buffer across the slot
+        // reset: release() clears it but keeps capacity, so steady-state
+        // allocation performs no heap traffic at all.
+        std::vector<InstRef> recycled = std::move(inst.consumers);
+        recycled.clear();
         inst = DynInst{};
+        inst.consumers = std::move(recycled);
         inst.gen = gen;
         inst.state = InstState::Renamed;
         if (static_cast<int>(idx) == tracedIdx()) {

@@ -17,9 +17,30 @@
 #include <vector>
 
 #include "core/dyn_inst.hh"
+#include "core/register_file.hh"
 
 namespace loopsim
 {
+
+/**
+ * Wakeup-scan source gate: the scoreboard cycle that keeps IQ occupant
+ * @p inst from issuing on source @p i, or 0 when that source does not
+ * gate issue (absent operand, or already in the IQ payload). Written
+ * so both selects compile to conditional moves: the hot wakeup loop in
+ * issueStage evaluates both sources of every occupant every cycle, and
+ * mispredicted per-source branches were measurable there. Also the
+ * single point the sparse kernel's wake computation (core_wake.cc)
+ * derives per-instruction wake cycles from, so the two scans cannot
+ * drift apart.
+ */
+inline Cycle
+wakeupGateCycle(const PhysRegFile &prf, const DynInst &inst, unsigned i)
+{
+    const bool gated = inst.physSrc[i] != invalidPhysReg &&
+                       !inst.operandInPayload[i];
+    const Cycle at = prf.issueReadyAt(gated ? inst.physSrc[i] : 0);
+    return gated ? at : 0;
+}
 
 class InstructionQueue
 {

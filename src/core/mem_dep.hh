@@ -38,6 +38,22 @@ class MemDepPredictor
     /** Should the load at @p pc wait for older stores? */
     bool shouldWait(Addr pc, Cycle now);
 
+    /**
+     * Const peek at the wait bit as it stands *now*, for the sparse
+     * kernel's wake computation: no lazy table clear, no waitCount
+     * bump. A load held by this bit unblocks no earlier than
+     * nextClearAt() (the bit only changes via trainTrap or the clear),
+     * so the issue stage's wake cycle for it is exactly nextClearAt().
+     */
+    bool
+    wouldWait(Addr pc) const
+    {
+        return bits[(pc >> 2) & (bits.size() - 1)];
+    }
+
+    /** The cycle of the next lazy table clear (invalidCycle: never). */
+    Cycle nextClearAt() const { return nextClear; }
+
     /** The load at @p pc suffered a reorder trap: set its wait bit. */
     void trainTrap(Addr pc);
 

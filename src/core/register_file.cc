@@ -1,5 +1,6 @@
 #include "core/register_file.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -56,7 +57,10 @@ operandSourceName(OperandSource src)
 }
 
 PhysRegFile::PhysRegFile(unsigned num_regs)
-    : numRegs(num_regs), regs(num_regs)
+    : numRegs(num_regs), issueReadyCycles(num_regs, invalidCycle),
+      actualReadyCycles(num_regs, invalidCycle),
+      writebackCycles(num_regs, invalidCycle), liveFlags(num_regs, 0),
+      producers(num_regs)
 {
     fatal_if(num_regs == 0 || num_regs >= invalidPhysReg,
              "physical register count out of range");
@@ -65,18 +69,10 @@ PhysRegFile::PhysRegFile(unsigned num_regs)
         freeList.push_back(static_cast<PhysReg>(i));
 }
 
-PhysRegFile::RegState &
-PhysRegFile::state(PhysReg reg)
+void
+PhysRegFile::checkRange(PhysReg reg) const
 {
     panic_if(reg >= numRegs, "physical register out of range");
-    return regs[reg];
-}
-
-const PhysRegFile::RegState &
-PhysRegFile::state(PhysReg reg) const
-{
-    panic_if(reg >= numRegs, "physical register out of range");
-    return regs[reg];
 }
 
 PhysReg
@@ -85,11 +81,12 @@ PhysRegFile::alloc(InstRef producer)
     panic_if(freeList.empty(), "allocating from an empty free list");
     PhysReg reg = freeList.back();
     freeList.pop_back();
-    RegState &s = state(reg);
-    panic_if(s.live, "allocating a live register");
-    s = RegState{};
-    s.live = true;
-    s.producerRef = producer;
+    panic_if(liveFlags[reg], "allocating a live register");
+    liveFlags[reg] = 1;
+    issueReadyCycles[reg] = invalidCycle;
+    actualReadyCycles[reg] = invalidCycle;
+    writebackCycles[reg] = invalidCycle;
+    producers[reg] = producer;
     traceReg(reg, "alloc producerIdx", producer.idx);
     return reg;
 }
@@ -98,111 +95,115 @@ PhysReg
 PhysRegFile::allocArch()
 {
     PhysReg reg = alloc(InstRef{});
-    RegState &s = state(reg);
     // Architectural state exists "since forever".
-    s.issueReadyCycle = 0;
-    s.actualReadyCycle = 0;
-    s.writebackCycle = 0;
+    issueReadyCycles[reg] = 0;
+    actualReadyCycles[reg] = 0;
+    writebackCycles[reg] = 0;
     return reg;
 }
 
 void
 PhysRegFile::free(PhysReg reg)
 {
-    RegState &s = state(reg);
-    panic_if(!s.live, "freeing a register that is not live");
+    checkRange(reg);
+    panic_if(!liveFlags[reg], "freeing a register that is not live");
     traceReg(reg, "free", 0);
-    s.live = false;
+    liveFlags[reg] = 0;
     freeList.push_back(reg);
 }
 
 void
 PhysRegFile::setIssueReady(PhysReg reg, Cycle cycle)
 {
+    checkRange(reg);
     traceReg(reg, "setIssueReady", cycle);
-    state(reg).issueReadyCycle = cycle;
+    issueReadyCycles[reg] = cycle;
 }
 
 void
 PhysRegFile::clearIssueReady(PhysReg reg)
 {
+    checkRange(reg);
     traceReg(reg, "clearIssueReady", 0);
-    state(reg).issueReadyCycle = invalidCycle;
-}
-
-Cycle
-PhysRegFile::issueReadyAt(PhysReg reg) const
-{
-    return state(reg).issueReadyCycle;
-}
-
-bool
-PhysRegFile::issueReady(PhysReg reg, Cycle now) const
-{
-    return state(reg).issueReadyCycle <= now;
+    issueReadyCycles[reg] = invalidCycle;
 }
 
 void
 PhysRegFile::setActualReady(PhysReg reg, Cycle cycle)
 {
+    checkRange(reg);
     traceReg(reg, "setActualReady", cycle);
-    state(reg).actualReadyCycle = cycle;
+    actualReadyCycles[reg] = cycle;
 }
 
 void
 PhysRegFile::clearActualReady(PhysReg reg)
 {
+    checkRange(reg);
     traceReg(reg, "clearActualReady", 0);
-    state(reg).actualReadyCycle = invalidCycle;
+    actualReadyCycles[reg] = invalidCycle;
 }
 
 Cycle
 PhysRegFile::actualReadyAt(PhysReg reg) const
 {
-    return state(reg).actualReadyCycle;
+    checkRange(reg);
+    return actualReadyCycles[reg];
 }
 
 bool
 PhysRegFile::actualReady(PhysReg reg, Cycle now) const
 {
-    return state(reg).actualReadyCycle <= now;
+    checkRange(reg);
+    return actualReadyCycles[reg] <= now;
 }
 
 void
 PhysRegFile::setWriteback(PhysReg reg, Cycle cycle)
 {
-    state(reg).writebackCycle = cycle;
+    checkRange(reg);
+    writebackCycles[reg] = cycle;
 }
 
 Cycle
 PhysRegFile::writebackAt(PhysReg reg) const
 {
-    return state(reg).writebackCycle;
+    checkRange(reg);
+    return writebackCycles[reg];
 }
 
 bool
 PhysRegFile::writtenBack(PhysReg reg, Cycle now) const
 {
-    return state(reg).writebackCycle <= now;
+    checkRange(reg);
+    return writebackCycles[reg] <= now;
 }
 
 InstRef
 PhysRegFile::producer(PhysReg reg) const
 {
-    return state(reg).producerRef;
+    checkRange(reg);
+    return producers[reg];
 }
 
 bool
 PhysRegFile::live(PhysReg reg) const
 {
-    return state(reg).live;
+    checkRange(reg);
+    return liveFlags[reg] != 0;
 }
 
 void
 PhysRegFile::reset()
 {
-    for (auto &s : regs)
-        s = RegState{};
+    std::fill(issueReadyCycles.begin(), issueReadyCycles.end(),
+              invalidCycle);
+    std::fill(actualReadyCycles.begin(), actualReadyCycles.end(),
+              invalidCycle);
+    std::fill(writebackCycles.begin(), writebackCycles.end(),
+              invalidCycle);
+    std::fill(liveFlags.begin(), liveFlags.end(), 0);
+    std::fill(producers.begin(), producers.end(), InstRef{});
     freeList.clear();
     for (unsigned i = numRegs; i-- > 0;)
         freeList.push_back(static_cast<PhysReg>(i));

@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 #include "core/dyn_inst.hh"
 
@@ -80,22 +81,42 @@ class PhysRegFile
     void reset();
 
   private:
-    struct RegState
-    {
-        bool live = false;
-        Cycle issueReadyCycle = invalidCycle;
-        Cycle actualReadyCycle = invalidCycle;
-        Cycle writebackCycle = invalidCycle;
-        InstRef producerRef{};
-    };
-
-    RegState &state(PhysReg reg);
-    const RegState &state(PhysReg reg) const;
+    void checkRange(PhysReg reg) const;
 
     unsigned numRegs;
-    std::vector<RegState> regs;
+    /**
+     * SoA layout: the wakeup scan in issueStage reads issueReadyCycle
+     * for both sources of every IQ occupant every active cycle, and
+     * nothing else. Keeping each scoreboard field in its own dense
+     * array means that scan pulls 8-byte cache lines of exactly the
+     * field it needs instead of dragging the whole per-register record
+     * (flags, producer ref, writeback cycle) through the cache.
+     */
+    std::vector<Cycle> issueReadyCycles;
+    std::vector<Cycle> actualReadyCycles;
+    std::vector<Cycle> writebackCycles;
+    std::vector<std::uint8_t> liveFlags;
+    std::vector<InstRef> producers;
     std::vector<PhysReg> freeList;
 };
+
+inline bool
+PhysRegFile::issueReady(PhysReg reg, Cycle now) const
+{
+    panic_if(reg >= numRegs, "physical register out of range");
+    return issueReadyCycles[reg] <= now;
+}
+
+/**
+ * Unchecked hot-path accessor: the wakeup scan reads the gate cycle
+ * for every occupant source every scan, and its callers index with
+ * registers that were range-checked at rename.
+ */
+inline Cycle
+PhysRegFile::issueReadyAt(PhysReg reg) const
+{
+    return issueReadyCycles[reg];
+}
 
 } // namespace loopsim
 

@@ -36,6 +36,7 @@ mergeTickProfile(std::vector<ComponentProfile> &into,
         for (ComponentProfile &q : into) {
             if (q.name == p.name) {
                 q.ticks += p.ticks;
+                q.measuredTicks += p.measuredTicks;
                 q.seconds += p.seconds;
                 merged = true;
                 break;
@@ -152,10 +153,11 @@ failSoftCell(const PlannedRun &cell, const char *what)
 }
 
 RunResult
-runCell(const PlannedRun &cell, const RetryPolicy &policy)
+runCell(const PlannedRun &cell, const Config &resolved,
+        const RetryPolicy &policy)
 {
     try {
-        return runOnceResilient(cell.spec, policy);
+        return runOnceResilientWith(cell.spec, resolved, policy);
     } catch (const std::exception &err) {
         return failSoftCell(cell, err.what());
     }
@@ -244,6 +246,16 @@ CampaignTelemetry::accumulate(const CampaignTelemetry &other)
     store.accumulate(other.store);
     wallSeconds += other.wallSeconds;
     mergeTickProfile(tickProfile, other.tickProfile);
+    for (const WorkerTelemetry &w : other.workers) {
+        if (w.id >= workers.size())
+            workers.resize(w.id + 1);
+        WorkerTelemetry &mine = workers[w.id];
+        mine.id = w.id;
+        mine.cells += w.cells;
+        mine.busySeconds += w.busySeconds;
+        mine.claimWaitSeconds += w.claimWaitSeconds;
+        mine.idleSeconds += w.idleSeconds;
+    }
 }
 
 void
@@ -362,6 +374,24 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
             pending[i] = i;
     }
 
+    // Resolve each miss's effective configuration once, up front, on
+    // this thread. Workers then run against the pre-resolved Config
+    // through runOnceResilientWith(), so the pool never serializes on
+    // the process-wide overlay mutex and never rebuilds the
+    // string-map-heavy figure defaults per cell (or per retry
+    // attempt) — the first measurable contention point of the --jobs
+    // scaling investigation: with short cells, every worker re-took
+    // the overlay lock and re-built the default Config each time.
+    // This also pins the whole campaign to the overlays in force at
+    // plan time, matching what the fingerprints hashed. The isolated
+    // path resolves per cell in the supervisor instead (the child
+    // must run against the pre-fork snapshot), so it skips this.
+    std::vector<Config> resolved(isolate ? 0 : plan.size());
+    if (!isolate) {
+        for (std::size_t i : pending)
+            resolved[i] = effectiveRunConfig(plan.at(i).spec);
+    }
+
     // Graceful shutdown scope: SIGINT/SIGTERM flips the drain flag,
     // workers stop claiming cells, in-flight forked children are
     // SIGKILLed and reaped by their supervising worker. `done[i]`
@@ -398,7 +428,7 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
                 return;
             results[i] = std::move(so.result);
         } else {
-            results[i] = runCell(plan.at(i), policy);
+            results[i] = runCell(plan.at(i), resolved[i], policy);
         }
         // Journal as cells finish, not after the pool drains: a
         // killed campaign then loses at most the entries in flight.
@@ -410,12 +440,29 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
     const unsigned workers_wanted = static_cast<unsigned>(
         std::min<std::size_t>(jobs, std::max<std::size_t>(
                                         pending.size(), 1)));
+    // Per-worker busy/claim-wait/idle accounting (wall clock,
+    // telemetry only). Each slot is written by exactly one worker.
+    std::vector<WorkerTelemetry> workerStats(workers_wanted);
+    auto seconds = [](std::chrono::steady_clock::duration d) {
+        return std::chrono::duration<double>(d).count();
+    };
     if (workers_wanted <= 1) {
+        WorkerTelemetry &w = workerStats[0];
+        // loop:exempt(wall-clock telemetry only)
+        const auto born = std::chrono::steady_clock::now();
         for (std::size_t i : pending) {
             if (shutdownRequested.load(std::memory_order_acquire))
                 break;
+            // loop:exempt(wall-clock telemetry only)
+            const auto t0 = std::chrono::steady_clock::now();
             executeOne(i);
+            // loop:exempt(wall-clock telemetry only)
+            w.busySeconds += seconds(std::chrono::steady_clock::now() - t0);
+            ++w.cells;
         }
+        // loop:exempt(wall-clock telemetry only)
+        w.idleSeconds = seconds(std::chrono::steady_clock::now() - born) -
+                        w.busySeconds;
     } else {
         // Work-stealing by atomic cursor: each worker claims the next
         // unclaimed pending entry and writes its result slot. Slots
@@ -426,17 +473,36 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
             std::vector<std::jthread> workers;
             workers.reserve(workers_wanted);
             for (unsigned t = 0; t < workers_wanted; ++t) {
-                workers.emplace_back([&] {
+                workers.emplace_back([&, t] {
+                    WorkerTelemetry &w = workerStats[t];
+                    w.id = t;
+                    // loop:exempt(wall-clock telemetry only)
+                    const auto born = std::chrono::steady_clock::now();
                     for (;;) {
                         if (shutdownRequested.load(
                                 std::memory_order_acquire))
-                            return;
+                            break;
+                        const auto claim0 =
+                            // loop:exempt(wall-clock telemetry only)
+                            std::chrono::steady_clock::now();
                         std::size_t k = cursor.fetch_add(
                             1, std::memory_order_relaxed);
+                        const auto claim1 =
+                            // loop:exempt(wall-clock telemetry only)
+                            std::chrono::steady_clock::now();
+                        w.claimWaitSeconds += seconds(claim1 - claim0);
                         if (k >= pending.size())
-                            return;
+                            break;
                         executeOne(pending[k]);
+                        w.busySeconds += seconds(
+                            // loop:exempt(wall-clock telemetry only)
+                            std::chrono::steady_clock::now() - claim1);
+                        ++w.cells;
                     }
+                    w.idleSeconds =
+                        // loop:exempt(wall-clock telemetry only)
+                        seconds(std::chrono::steady_clock::now() - born) -
+                        w.busySeconds - w.claimWaitSeconds;
                 });
             }
         } // jthread joins here
@@ -491,6 +557,7 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
             mergeTickProfile(t.tickProfile, results[i].tickProfile);
         }
         t.simulated = completed;
+        t.workers = workerStats;
         if (pstore)
             t.store = storeDelta(pstore->stats(), storeBefore);
         auto drained =
@@ -546,6 +613,7 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
     t.memoHits = memoHits;
     t.resumed = resumed;
     loadSupervisionCounters(t, counters);
+    t.workers = std::move(workerStats);
     if (pstore)
         t.store = storeDelta(pstore->stats(), storeBefore);
     t.wallSeconds = wall.count();

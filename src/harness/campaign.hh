@@ -96,6 +96,27 @@ class CampaignPlan
     std::vector<PlannedRun> cells;
 };
 
+/**
+ * Per-worker cost breakdown of one campaign (wall clock). The three
+ * buckets partition a worker's lifetime: busy (inside a cell's
+ * simulation), claimWait (claiming the next cell from the shared
+ * cursor — measurable lock/cache contention shows up here), and idle
+ * (everything else: thread startup/teardown and the tail wait while
+ * the last cells of an uneven plan finish elsewhere). A healthy
+ * campaign is busy-dominated on every worker; a flat --jobs curve
+ * with high busy everywhere points at in-cell contention instead of
+ * pool starvation.
+ */
+struct WorkerTelemetry
+{
+    unsigned id = 0;
+    /** Cells this worker executed. */
+    std::size_t cells = 0;
+    double busySeconds = 0.0;
+    double claimWaitSeconds = 0.0;
+    double idleSeconds = 0.0;
+};
+
 /** What one campaign execution cost (wall clock, not simulated). */
 struct CampaignTelemetry
 {
@@ -138,6 +159,9 @@ struct CampaignTelemetry
      *  tickProfilingActive()). Host seconds are summed over all
      *  workers, so they can exceed wallSeconds under --jobs > 1. */
     std::vector<ComponentProfile> tickProfile;
+    /** Per-worker busy/claim-wait/idle breakdown, by worker id (the
+     *  serial fast path reports itself as worker 0). */
+    std::vector<WorkerTelemetry> workers;
 
     double
     runsPerSecond() const

@@ -116,6 +116,24 @@ InvariantWatchdog::buildReport(Cycle now,
     return rep;
 }
 
+Cycle
+InvariantWatchdog::nextActivity(Cycle now) const
+{
+    if (!sawSample)
+        return now; // never sampled: establish the progress baseline
+    auto next_multiple = [](Cycle at, Cycle step) {
+        return ((at + step - 1) / step) * step;
+    };
+    Cycle wake = next_multiple(now, sampleEvery);
+    if (cfg.structuralChecks)
+        wake = std::min(wake, next_multiple(now, cfg.checkInterval));
+    // The wedge deadline: the first cycle the no-progress window can
+    // expire. If progress happens before then, it happens at a wheel
+    // cycle and this is recomputed.
+    wake = std::min(wake, lastProgress + cfg.window);
+    return std::max(wake, now);
+}
+
 void
 InvariantWatchdog::tick(Cycle now)
 {

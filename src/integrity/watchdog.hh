@@ -100,6 +100,20 @@ class InvariantWatchdog : public Clocked
 
     /** The watchdog never holds the simulation open. */
     bool done() const override { return true; }
+
+    /**
+     * Sparse-kernel schedule. Progress (a retire-count change) can
+     * only happen at cycles where the watched core ticks — and the
+     * wheel ticks every component at every wheel cycle, so those are
+     * observed for free. What the watchdog itself must schedule are
+     * its time-driven actions: the next timeline sample (multiples of
+     * sampleEvery), the next structural sweep (multiples of
+     * checkInterval, when enabled), and the no-progress deadline at
+     * lastProgress + window, where a wedged run throws exactly as the
+     * dense kernel would.
+     */
+    Cycle nextActivity(Cycle now) const override;
+
     std::string name() const override { return "watchdog"; }
 
     Cycle lastProgressCycle() const { return lastProgress; }

@@ -1,18 +1,31 @@
 /**
  * @file
- * Cycle-driven simulation kernel.
+ * Event-driven simulation kernel with a dense reference mode.
  *
- * The kernel is deliberately simple: every registered Clocked component
- * is ticked once per simulated cycle, in registration order, until all
- * components report completion or a cycle limit is reached. Components
- * model their own internal pipelining and propagation delays; the kernel
- * guarantees only a global, monotonically increasing cycle count.
+ * The kernel drives every registered Clocked component, in registration
+ * order, until all components report completion or a cycle limit is
+ * reached. Components model their own internal pipelining and
+ * propagation delays; the kernel guarantees only a global,
+ * monotonically increasing cycle count.
  *
- * The kernel therefore cannot see a component cheating its own loop
- * delays. Cross-stage feedback (branch resolution, load hit/miss, DRA
- * operand miss) must travel through sim/feedback_port.hh, whose audit
- * mode turns the paper's no-global-knowledge rule into a checked
- * invariant.
+ * Two kernels share that contract:
+ *
+ *  - Sparse (the default): an event wheel. Each component declares,
+ *    via nextActivity(), the earliest future cycle at which it has
+ *    anything to do; the kernel advances currentCycle directly to the
+ *    minimum over all components and ticks every component there.
+ *    A component whose state is frozen between wake-ups must account
+ *    for the skipped span inside its next tick() (span-weighted
+ *    statistics — see DESIGN.md §14), which makes a sparse run
+ *    bit-identical to a dense one.
+ *  - Dense (LOOPSIM_DENSE_KERNEL, or setDefaultKernelMode): the
+ *    original cycle-by-cycle loop, kept as the differential-testing
+ *    reference.
+ *
+ * The kernel cannot see a component cheating its own loop delays.
+ * Cross-stage feedback (branch resolution, load hit/miss, DRA operand
+ * miss) must travel through sim/feedback_port.hh, whose audit mode
+ * turns the paper's no-global-knowledge rule into a checked invariant.
  */
 
 #ifndef LOOPSIM_SIM_SIMULATOR_HH
@@ -27,6 +40,13 @@
 namespace loopsim
 {
 
+/** Kernel flavour: the sparse event wheel or the dense reference. */
+enum class KernelMode : std::uint8_t
+{
+    Sparse, ///< event-wheel kernel (production default)
+    Dense,  ///< cycle-by-cycle reference kernel
+};
+
 /** Anything driven by the global clock. */
 class Clocked
 {
@@ -39,9 +59,46 @@ class Clocked
     /** True once this component has no further work. */
     virtual bool done() const = 0;
 
+    /**
+     * Sparse-kernel contract: the earliest cycle >= @p now at which
+     * this component needs to tick. Returning @p now asks to be ticked
+     * every cycle (the dense-compatible default, correct for any
+     * component). Returning invalidCycle means "nothing self-scheduled:
+     * wake me whenever anything else ticks" — the kernel still ticks
+     * every component at every wheel cycle, so a component may always
+     * react to state other components changed.
+     *
+     * The contract is conservative-complete: waking earlier than
+     * necessary is always safe (a tick at any cycle with no work must
+     * be a no-op up to span accounting); waking later than the first
+     * cycle at which the component would have acted is a correctness
+     * bug the dense differential test catches.
+     */
+    virtual Cycle nextActivity(Cycle now) const { return now; }
+
+    /**
+     * Kernel-mode hint, delivered by Simulator::run() before the first
+     * tick of each run. Components that carry sparse-only machinery on
+     * their tick path (wake computation, scan gates) may switch it off
+     * under the dense reference kernel so the baseline stays pure.
+     * Default: ignore the hint.
+     */
+    virtual void prepareKernel(KernelMode mode) { (void)mode; }
+
     /** Human-readable identity for error messages. */
     virtual std::string name() const { return "clocked"; }
 };
+
+/**
+ * The process-wide default mode new Simulators start in. Resolution
+ * order: setDefaultKernelMode() override, then the LOOPSIM_DENSE_KERNEL
+ * environment variable (non-empty enables dense), then the
+ * LOOPSIM_DENSE_KERNEL CMake option's compiled-in default, then Sparse.
+ */
+KernelMode defaultKernelMode();
+
+/** Override the process-wide default (tests, bench --dense-kernel). */
+void setDefaultKernelMode(KernelMode mode);
 
 /**
  * Kernel self-profiling result: where the host's time went for one
@@ -52,15 +109,19 @@ class Clocked
 struct ComponentProfile
 {
     std::string name;         ///< Clocked::name() at profiling time
-    std::uint64_t ticks = 0;  ///< tick() invocations measured
-    double seconds = 0.0;     ///< host seconds spent inside tick()
+    std::uint64_t ticks = 0;  ///< total tick() invocations
+    /** tick() invocations actually timed: the profiler batch-samples
+     *  one wheel iteration in profilingStride(), so `seconds` is the
+     *  measured time scaled by ticks/measuredTicks. */
+    std::uint64_t measuredTicks = 0;
+    double seconds = 0.0;     ///< estimated host seconds inside tick()
 };
 
 /** The global clock driver. */
 class Simulator
 {
   public:
-    Simulator() = default;
+    Simulator() : mode(defaultKernelMode()) {}
 
     /** Register a component; the simulator does not take ownership. */
     void add(Clocked *component);
@@ -80,25 +141,47 @@ class Simulator
     /** True iff the last run() ended because of the cycle limit. */
     bool hitCycleLimit() const { return cycleLimited; }
 
+    /** Per-instance kernel selection (defaults to defaultKernelMode()
+     *  at construction). */
+    void setKernelMode(KernelMode m) { mode = m; }
+    KernelMode kernelMode() const { return mode; }
+
     /**
-     * Opt-in kernel self-profiling: when enabled, run() times every
-     * component's tick() with the host's monotonic clock. Off by
-     * default — the unprofiled loop carries no timing calls at all.
+     * Opt-in kernel self-profiling: when enabled, run() batch-samples
+     * tick() durations with the host's monotonic clock (one wheel
+     * iteration in profilingStride() is timed; counts stay exact and
+     * seconds are scaled). Off by default — the unprofiled loop
+     * carries no timing calls at all.
      */
     void enableProfiling(bool on);
     bool profilingEnabled() const { return profiling; }
 
-    /** Per-component host-time totals accumulated while profiling. */
+    /** Sampling stride of the batch profiler (>= 1). */
+    void setProfilingStride(unsigned stride);
+    unsigned profilingStride() const { return profileStride; }
+
+    /** Per-component host-time estimates accumulated while profiling. */
     std::vector<ComponentProfile> profile() const;
 
   private:
-    void tickAllProfiled();
+    Cycle runDense(Cycle max_cycles);
+    Cycle runSparse(Cycle max_cycles);
+    void tickAll();
+    void tickAllTimed();
 
     std::vector<Clocked *> components;
+    /** done() flags cached after each component's most recent tick, so
+     *  the all-done scan never re-queries a component that has not
+     *  ticked since the last scan. */
+    std::vector<char> doneFlags;
     Cycle currentCycle = 0;
     bool cycleLimited = false;
+    KernelMode mode;
     bool profiling = false;
+    unsigned profileStride = 32;
+    std::uint64_t profileCursor = 0;
     std::vector<std::uint64_t> tickCounts;
+    std::vector<std::uint64_t> tickMeasured;
     std::vector<double> tickSeconds;
 };
 

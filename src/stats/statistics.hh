@@ -87,6 +87,20 @@ class Average : public Stat
         ++count;
     }
 
+    /**
+     * Span-weighted sampling: @p n repeats of the same value in one
+     * call. For integer-valued @p v (every per-cycle occupancy this
+     * stat records) `sum += v * n` is bit-identical to @p n repeated
+     * additions — both are exact up to 2^53 — which is what keeps the
+     * sparse kernel's statistics byte-equal to the dense kernel's.
+     */
+    void
+    sample(double v, std::uint64_t n)
+    {
+        sum += v * static_cast<double>(n);
+        count += n;
+    }
+
     double value() const override { return count ? sum / count : 0.0; }
     double total() const { return sum; }
     std::uint64_t samples() const { return count; }

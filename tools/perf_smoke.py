@@ -19,6 +19,19 @@ artifact; locally:
 
     python3 tools/perf_smoke.py --bench build/bench/fig8_dra_speedup
 
+A second mode, `--baseline`, benchmarks the sparse event-driven
+kernel against the dense reference kernel (DESIGN.md §14): it runs
+the same figure campaign under both kernels (the dense one selected
+via LOOPSIM_DENSE_KERNEL=1), asserts the figure output is
+byte-identical between them, and writes BENCH_kernel.json with both
+kernels' median runs/sec, ops/sec, and p50 campaign wall time. The
+sparse kernel must not be slower than --min-kernel-ratio times the
+dense kernel measured in the same job — a same-machine comparison,
+so CI noise cancels out of the ratio:
+
+    python3 tools/perf_smoke.py --baseline \\
+        --bench build/bench/fig5_pipeline_config --ops 8000
+
 Exit status: 0 on success, 1 on any failed assertion, 2 on usage or
 subprocess errors.
 """
@@ -34,12 +47,15 @@ from pathlib import Path
 LOOP_KINDS = ("branch-loop", "load-loop", "operand-loop")
 
 
-def run_bench(bench, ops, jobs, bench_json, extra_args):
+def run_bench(bench, ops, jobs, bench_json, extra_args, extra_env=None):
     cmd = [str(bench), str(ops), "--jobs", str(jobs)] + extra_args
     env = dict(os.environ)
     env["LOOPSIM_BENCH_JSON"] = str(bench_json)
     env.pop("LOOPSIM_TRACE", None)
     env.pop("LOOPSIM_PROFILE", None)
+    env.pop("LOOPSIM_DENSE_KERNEL", None)
+    if extra_env:
+        env.update(extra_env)
     try:
         proc = subprocess.run(cmd, env=env, capture_output=True,
                               text=True, check=True)
@@ -105,9 +121,122 @@ def check_trace(path, failures):
           f"{sorted(seen_kinds)}")
 
 
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def measure_kernel(args, label, extra_env, failures, tmp):
+    """Run the campaign --repeats times under one kernel; return the
+    (stdout, medians-dict) pair. Any campaign failure is fatal."""
+    outputs = []
+    walls, rps = [], []
+    runs = 0
+    for rep in range(args.repeats):
+        bench_json = Path(tmp) / f"{label}_{rep}.json"
+        out = run_bench(args.bench, args.ops, args.jobs, bench_json,
+                        [], extra_env)
+        entry = last_entry(bench_json)
+        if entry.get("failures", 0):
+            failures.append(
+                f"{label} kernel: campaign reported "
+                f"{entry['failures']} failed run(s)")
+        outputs.append(out)
+        walls.append(entry.get("campaign_wall_s", 0.0))
+        rps.append(entry.get("runs_per_s", 0.0))
+        runs = entry.get("runs", 0)
+    if len(set(outputs)) != 1:
+        failures.append(
+            f"{label} kernel: figure output varies across repeats — "
+            f"the campaign is not deterministic")
+    med_rps = median(rps)
+    return outputs[0], {
+        "runs": runs,
+        "runs_per_s": med_rps,
+        "ops_per_s": med_rps * args.ops,
+        "p50_wall_s": median(walls),
+    }
+
+
+def run_baseline(args):
+    """--baseline: dense vs sparse kernel on the same figure campaign.
+
+    Byte-identical figures are the correctness bar (the differential
+    suite `ctest -L kernel` checks the per-profile statistics; this
+    checks the shipped figure end to end), and the sparse kernel's
+    median runs/sec must be at least --min-kernel-ratio of the dense
+    kernel's, measured back to back on the same machine.
+    """
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        dense_out, dense = measure_kernel(
+            args, "dense", {"LOOPSIM_DENSE_KERNEL": "1"}, failures, tmp)
+        sparse_out, sparse = measure_kernel(
+            args, "sparse", None, failures, tmp)
+
+    if dense_out != sparse_out:
+        failures.append(
+            "figure output differs between the dense and sparse "
+            "kernels — the event-driven kernel diverged")
+
+    speedup = (sparse["runs_per_s"] / dense["runs_per_s"]
+               if dense["runs_per_s"] > 0 else 0.0)
+    print(f"perf_smoke: dense {dense['runs_per_s']:.2f} runs/s "
+          f"(p50 wall {dense['p50_wall_s']:.2f}s), "
+          f"sparse {sparse['runs_per_s']:.2f} runs/s "
+          f"(p50 wall {sparse['p50_wall_s']:.2f}s), "
+          f"speedup {speedup:.3f}x")
+    if dense["runs_per_s"] <= 0.0 or sparse["runs_per_s"] <= 0.0:
+        failures.append("campaign telemetry reported zero runs/sec")
+    elif speedup < args.min_kernel_ratio:
+        failures.append(
+            f"sparse kernel regressed: {sparse['runs_per_s']:.2f} < "
+            f"{args.min_kernel_ratio} * {dense['runs_per_s']:.2f} "
+            f"runs/s (speedup {speedup:.3f}x)")
+
+    report = {
+        "bench": args.bench.name,
+        "ops": args.ops,
+        "jobs": args.jobs,
+        "repeats": args.repeats,
+        "dense": dense,
+        "sparse": sparse,
+        "sparse_speedup": speedup,
+        "figures_identical": dense_out == sparse_out,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"perf_smoke: wrote {args.out}")
+
+    if failures:
+        for f in failures:
+            print(f"perf_smoke FAILED: {f}", file=sys.stderr)
+        return 1
+    print("perf_smoke baseline OK")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="trace-layer perf smoke test")
+    parser.add_argument(
+        "--baseline", action="store_true",
+        help="benchmark the sparse kernel against the dense reference "
+             "kernel instead of the trace-layer check, and write "
+             "BENCH_kernel.json")
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="baseline mode: campaign repeats per kernel (medians "
+             "are reported)")
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_kernel.json"),
+        help="baseline mode: where the kernel comparison is written")
+    parser.add_argument(
+        "--min-kernel-ratio", type=float, default=0.85,
+        help="baseline mode: sparse runs/sec must be at least this "
+             "fraction of dense runs/sec (same-machine comparison)")
     parser.add_argument(
         "--bench", type=Path,
         default=Path("build/bench/fig8_dra_speedup"),
@@ -130,6 +259,9 @@ def main(argv):
         print(f"perf_smoke: no such bench binary: {args.bench} "
               f"(build the project first)", file=sys.stderr)
         return 2
+
+    if args.baseline:
+        return run_baseline(args)
 
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
