@@ -36,7 +36,7 @@ main(int argc, char **argv)
 
     // "custom" builds the workload from workload.* config keys
     // (profileFromConfig), e.g.
-    //   pipeline_inspector custom 100000 workload.base=swim \
+    //   pipeline_inspector custom 100000 workload.base=swim
     //       workload.load_frac=0.4
     Workload w;
     if (workload_name == "custom") {

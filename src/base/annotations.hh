@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Source annotations consumed by the static analyzer.
+ *
+ * tools/analyze (loopsim-analyze, DESIGN.md §15) checks project
+ * invariants that neither the compiler nor the regex linter can see.
+ * The checks are driven by [[clang::annotate]] attributes attached
+ * through these macros; under non-clang compilers they expand to
+ * nothing, so annotated headers build identically everywhere.
+ *
+ * Annotation vocabulary:
+ *
+ *  LOOPSIM_WAKE_STATE
+ *      On a field: mutating it can advance the cycle at which a stage
+ *      could act, so every function that writes it (or calls a
+ *      non-const method on it) must also declare a wake — call a
+ *      LOOPSIM_WAKE_HOOK function — or the sparse kernel can sleep
+ *      through the change (dense/sparse divergence, the PR-7 bug
+ *      class).
+ *      On a function: calling it mutates wake-relevant state on the
+ *      caller's behalf; the *caller* inherits the pairing obligation.
+ *      The body of a wake_state function is itself exempt from the
+ *      check (its obligation lives at its call sites).
+ *
+ *  LOOPSIM_WAKE_HOOK
+ *      This function IS a wake declaration (noteIqWake, wakeReg,
+ *      schedule, computeWake). Calling it anywhere in a function
+ *      discharges that function's wake-pairing obligation; its own
+ *      body is exempt from the check.
+ *
+ *  LOOPSIM_CAMPAIGN_GUARDED(how)
+ *      This static/global is mutable but safe under the parallel
+ *      campaign executor; @p how is the reviewable reason (the mutex
+ *      or synchronization discipline that guards it). Without the
+ *      annotation, mutable non-atomic statics reachable from
+ *      runCampaign workers are rejected by the campaign-statics check.
+ *
+ *  LOOPSIM_ORDER_SINK
+ *      Calls to this function make iteration order observable (stats
+ *      export, trace sinks, figure assembly, fingerprinting). The
+ *      determinism check rejects unordered-container iteration whose
+ *      body reaches an order sink. Sinks in src/stats, src/trace,
+ *      src/store and the report/figure assembly are recognized by
+ *      location without the annotation; use it for sinks that live
+ *      elsewhere.
+ *
+ * A finding at an annotated-checked site is waived with the shared
+ * `// loop:exempt` comment carrying a reason, on the flagged line or
+ * the line above it, exactly as for tools/loop_lint.py. Use an
+ * `analyze:` prefix in the reason when the waiver targets an
+ * analyzer-only rule, so loop_lint's --check-stale-exempts mode does
+ * not flag it as stale.
+ */
+
+#ifndef LOOPSIM_BASE_ANNOTATIONS_HH
+#define LOOPSIM_BASE_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define LOOPSIM_ANNOTATE(tag) [[clang::annotate(tag)]]
+#else
+#define LOOPSIM_ANNOTATE(tag)
+#endif
+
+#define LOOPSIM_WAKE_STATE LOOPSIM_ANNOTATE("loopsim::wake_state")
+#define LOOPSIM_WAKE_HOOK LOOPSIM_ANNOTATE("loopsim::wake_hook")
+#define LOOPSIM_CAMPAIGN_GUARDED(how) \
+    LOOPSIM_ANNOTATE("loopsim::guarded:" how)
+#define LOOPSIM_ORDER_SINK LOOPSIM_ANNOTATE("loopsim::order_sink")
+
+#endif // LOOPSIM_BASE_ANNOTATIONS_HH

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/annotations.hh"
 #include "base/types.hh"
 #include "branch/btb.hh"
 #include "branch/predictor.hh"
@@ -266,7 +267,10 @@ class Core : public Clocked, public IntegrityProbe
         }
     };
 
-    void schedule(Event ev, bool lazy = false);
+    /** Scheduling a waking event is itself a wake declaration: the
+     *  event's cycle feeds nextActivity() through the waking queue
+     *  (lazy events opt out of that, see `lazyEvents`). */
+    LOOPSIM_WAKE_HOOK void schedule(Event ev, bool lazy = false);
     void processEvents(Cycle now);
 
     /** Can this op's ExecStart ride the lazy queue? True for plain
@@ -295,7 +299,7 @@ class Core : public Clocked, public IntegrityProbe
      *  only lower the cached iqWakeAt). Every mutation that can make
      *  an IQ entry confirm-free or issueable earlier must pass
      *  through here — see issueStage()'s gate. */
-    void
+    LOOPSIM_WAKE_HOOK void
     noteIqWake(Cycle c)
     {
         if (c < iqWakeAt)
@@ -304,7 +308,7 @@ class Core : public Clocked, public IntegrityProbe
 
     /** setIssueReady plus the issue-stage wake note: every scoreboard
      *  wakeup is a potential issue at @p at. */
-    void
+    LOOPSIM_WAKE_HOOK void
     wakeReg(PhysReg reg, Cycle at)
     {
         prf.setIssueReady(reg, at);
@@ -374,16 +378,20 @@ class Core : public Clocked, public IntegrityProbe
     void handleOperandMiss(DynInst &inst, InstRef ref, Cycle exec_start,
                            unsigned miss_mask);
 
-    /** Revert an issued instruction to waiting state. */
-    void killInstruction(DynInst &inst);
+    /** Revert an issued instruction to waiting state. Reverting to
+     *  InIq re-arms issue eligibility, so callers owe a wake note
+     *  (loopsim::wake_state propagates the obligation to them). */
+    LOOPSIM_WAKE_STATE void killInstruction(DynInst &inst);
     /** Kill the issued dependency tree rooted at @p root (§2.2.2). */
-    void killDependencyTree(InstRef root, Cycle now);
+    LOOPSIM_WAKE_STATE void killDependencyTree(InstRef root, Cycle now);
     /** 21264 mode: kill everything issued in the load shadow. */
-    void killLoadShadow(const DynInst &load, Cycle now);
+    LOOPSIM_WAKE_STATE void killLoadShadow(const DynInst &load,
+                                           Cycle now);
 
     /** Squash all ops of @p tid younger than @p stamp (fetch-stage
      *  recovery); correct-path victims go to the replay queue. */
-    void squashYounger(ThreadId tid, std::uint64_t stamp, Cycle now);
+    LOOPSIM_WAKE_STATE void squashYounger(ThreadId tid,
+                                          std::uint64_t stamp, Cycle now);
 
     /** Memory-ordering bookkeeping for a store's first valid
      *  execution: mark it executed and detect reorder traps. */
@@ -413,7 +421,7 @@ class Core : public Clocked, public IntegrityProbe
     void accountIdleSpan(Cycle now);
     /** Recompute wakeCycle from post-tick state: the earliest future
      *  cycle at which any stage could act. */
-    void computeWake(Cycle now);
+    LOOPSIM_WAKE_HOOK void computeWake(Cycle now);
     /// @}
 
     /** One-line timeline of @p ref for discipline-violation reports
@@ -439,6 +447,7 @@ class Core : public Clocked, public IntegrityProbe
 
     /** Waking events: their cycles feed nextActivity(), so the wheel
      *  always ticks the core when one is due. */
+    LOOPSIM_WAKE_STATE
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events;
     /** Lazy events (Writebacks, plus ExecStarts that pass
@@ -477,7 +486,7 @@ class Core : public Clocked, public IntegrityProbe
     /** Earliest future cycle any stage could act (invalidCycle: only
      *  another component's activity can change this core's state).
      *  Starts at 0 so a fresh core's first tick is immediate. */
-    Cycle wakeCycle = 0;
+    LOOPSIM_WAKE_STATE Cycle wakeCycle = 0;
     /** Cached earliest cycle at which the issue stage could free a
      *  Done entry or issue an InIq entry (invalidCycle: only a hook —
      *  noteIqWake()/wakeReg() — can make it act). issueStage() skips
@@ -492,7 +501,7 @@ class Core : public Clocked, public IntegrityProbe
     std::vector<std::uint64_t> scratchWinnerAge;
     std::vector<std::uint8_t> scratchReady;
     /// @}
-    Cycle iqWakeAt = 0;
+    LOOPSIM_WAKE_STATE Cycle iqWakeAt = 0;
     /** Set from prepareKernel(): true under the sparse event wheel
      *  (also the construction default, so a bare core outside any
      *  Simulator gets the production code paths). The dense reference

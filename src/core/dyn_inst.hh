@@ -16,6 +16,7 @@
 #include <sstream>
 #include <vector>
 
+#include "base/annotations.hh"
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
@@ -96,6 +97,9 @@ struct DynInst
     Cycle firstIssueCycle = invalidCycle;
     Cycle execStartCycle = invalidCycle;
     Cycle produceCycle = invalidCycle; ///< actual data ready (valid exec)
+    /** Lowering the confirm cycle can free the IQ slot earlier:
+     *  writers owe a noteIqWake() (see base/annotations.hh). */
+    LOOPSIM_WAKE_STATE
     Cycle confirmCycle = invalidCycle; ///< IQ entry may clear
     /// @}
 
@@ -113,8 +117,9 @@ struct DynInst
     /** The payload copy came from a miss recovery (not a pre-read),
      *  so it must not be re-counted in the Figure 9 breakdown. */
     std::array<bool, 2> payloadFromRecovery{false, false};
-    /** Blocked awaiting an operand-miss recovery delivery. */
-    bool waitingRecovery = false;
+    /** Blocked awaiting an operand-miss recovery delivery. Clearing
+     *  it re-arms issue eligibility: writers owe a wake note. */
+    LOOPSIM_WAKE_STATE bool waitingRecovery = false;
     /** The redirect for this mispredicted branch has been performed. */
     bool redirectDone = false;
     /** Loop events (kills, traps, redirects) scheduled but not yet

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "base/annotations.hh"
 #include "core/dyn_inst.hh"
 #include "core/register_file.hh"
 
@@ -53,7 +54,9 @@ class InstructionQueue
     unsigned entries() const { return capacity; }
 
     /** Claim a slot for @p ref; panics when full. */
-    void insert(InstPool &pool, InstRef ref);
+    /** Inserting makes @p ref issue-eligible from the next cycle:
+     *  callers owe a wake note (base/annotations.hh). */
+    LOOPSIM_WAKE_STATE void insert(InstPool &pool, InstRef ref);
 
     /** Release @p ref's slot (confirm-free or squash). */
     void remove(InstPool &pool, InstRef ref);

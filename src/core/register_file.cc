@@ -20,7 +20,7 @@ namespace
 int
 tracedReg()
 {
-    static int reg = [] {
+    static const int reg = [] {
         const char *env = std::getenv("LOOPSIM_TRACE_REG");
         return env ? std::atoi(env) : -1;
     }();

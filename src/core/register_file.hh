@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "base/annotations.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "core/dyn_inst.hh"
@@ -51,8 +52,10 @@ class PhysRegFile
 
     /** @name Scoreboard */
     /// @{
-    /** Speculative wakeup: a consumer may issue at @p cycle. */
-    void setIssueReady(PhysReg reg, Cycle cycle);
+    /** Speculative wakeup: a consumer may issue at @p cycle. A
+     *  scoreboard wakeup is wake-relevant state: callers owe a wake
+     *  note — in core code, call wakeReg() instead. */
+    LOOPSIM_WAKE_STATE void setIssueReady(PhysReg reg, Cycle cycle);
     /** Revoke readiness (producer killed / retimed). */
     void clearIssueReady(PhysReg reg);
     Cycle issueReadyAt(PhysReg reg) const;

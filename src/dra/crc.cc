@@ -18,8 +18,9 @@ parseCrcRepl(const std::string &name)
 }
 
 ClusterRegisterCache::ClusterRegisterCache(unsigned num_entries,
-                                           CrcRepl repl, Cycle timeout)
-    : entriesMax(num_entries), repl(repl), timeout(timeout),
+                                           CrcRepl repl_policy,
+                                           Cycle timeout_cycles)
+    : entriesMax(num_entries), repl(repl_policy), timeout(timeout_cycles),
       store(num_entries)
 {
     fatal_if(num_entries == 0, "CRC needs entries");

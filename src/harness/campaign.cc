@@ -12,6 +12,7 @@
 
 #include <map>
 
+#include "base/annotations.hh"
 #include "base/logging.hh"
 #include "core/machine_config.hh"
 #include "harness/supervisor.hh"
@@ -48,12 +49,15 @@ mergeTickProfile(std::vector<ComponentProfile> &into,
 }
 
 std::mutex telemetryMutex;
+LOOPSIM_CAMPAIGN_GUARDED("telemetryMutex")
 CampaignTelemetry lastTelemetry;
+LOOPSIM_CAMPAIGN_GUARDED("telemetryMutex")
 CampaignTelemetry totalTelemetry;
 
 std::atomic<unsigned> explicitJobs{0};
 
 std::mutex flushHookMutex;
+LOOPSIM_CAMPAIGN_GUARDED("flushHookMutex")
 std::function<void()> interruptFlushHook;
 
 /** Graceful-shutdown state, set from the signal handler. */

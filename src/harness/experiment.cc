@@ -9,6 +9,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "base/annotations.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "core/core.hh"
@@ -41,6 +42,7 @@ overlayMutex()
 Config &
 runOverlayLocked()
 {
+    LOOPSIM_CAMPAIGN_GUARDED("overlayMutex(); workers take snapshots")
     static Config overlay;
     return overlay;
 }

@@ -230,6 +230,7 @@ superviseOnce(const RunSpec &spec, const Config &resolved,
     ::close(fds[1]);
 
     using clock = std::chrono::steady_clock;
+    // loop:exempt(analyze: wall-clock child deadline, host side only)
     const auto started = clock::now();
     const bool bounded = deadline_ms != 0;
     const auto deadline =
@@ -248,6 +249,7 @@ superviseOnce(const RunSpec &spec, const Config &resolved,
         int slice_ms = 100;
         if (bounded) {
             auto left = std::chrono::duration_cast<
+                // loop:exempt(analyze: wall-clock child deadline)
                 std::chrono::milliseconds>(deadline - clock::now());
             if (left.count() <= 0) {
                 timed_out = true;
@@ -318,7 +320,9 @@ bool
 backoffSleep(std::uint64_t ms)
 {
     using clock = std::chrono::steady_clock;
+    // loop:exempt(analyze: wall-clock backoff between child respawns)
     const auto until = clock::now() + std::chrono::milliseconds(ms);
+    // loop:exempt(analyze: wall-clock backoff between child respawns)
     while (clock::now() < until) {
         if (stopRequested())
             return false;

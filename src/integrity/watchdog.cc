@@ -58,9 +58,9 @@ WatchdogReport::format() const
     return os.str();
 }
 
-InvariantWatchdog::InvariantWatchdog(const IntegrityProbe &probe,
-                                     const WatchdogConfig &cfg)
-    : probe(probe), cfg(cfg)
+InvariantWatchdog::InvariantWatchdog(const IntegrityProbe &integrity_probe,
+                                     const WatchdogConfig &config)
+    : probe(integrity_probe), cfg(config)
 {
     // Spread the kept history across the whole stall window so the
     // report shows the onset of the wedge, not just its last cycles.

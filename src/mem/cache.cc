@@ -22,13 +22,13 @@ parseReplPolicy(const std::string &name)
     fatal("unknown replacement policy: ", name);
 }
 
-Cache::Cache(std::uint64_t size_bytes, unsigned assoc, unsigned line_bytes,
-             ReplPolicy policy, unsigned banks)
-    : bytes(size_bytes), assoc(assoc), line(line_bytes),
+Cache::Cache(std::uint64_t size_bytes, unsigned ways, unsigned line_bytes,
+             ReplPolicy repl_policy, unsigned num_banks)
+    : bytes(size_bytes), assoc(ways), line(line_bytes),
       lineShift(floorLog2(line_bytes)),
-      sets(assoc && line_bytes
-               ? size_bytes / (std::uint64_t(assoc) * line_bytes) : 0),
-      policy(policy), banks(banks), lines(sets * assoc),
+      sets(ways && line_bytes
+               ? size_bytes / (std::uint64_t(ways) * line_bytes) : 0),
+      policy(repl_policy), banks(num_banks), lines(sets * ways),
       rng(size_bytes ^ 0xcafef00dULL)
 {
     fatal_if(assoc == 0, "cache associativity must be > 0");

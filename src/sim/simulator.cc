@@ -110,10 +110,10 @@ Simulator::tickAllTimed()
     // itself and never reach the simulated machine.
     using clock = std::chrono::steady_clock;
     for (std::size_t i = 0; i < components.size(); ++i) {
-        // loop:exempt(kernel self-profiling; host time never feeds simulated time)
+        // loop:exempt(analyze: kernel self-profiling, host time never feeds simulated time)
         const clock::time_point begin = clock::now();
         components[i]->tick(currentCycle);
-        // loop:exempt(kernel self-profiling; host time never feeds simulated time)
+        // loop:exempt(analyze: kernel self-profiling, host time never feeds simulated time)
         const clock::time_point end = clock::now();
         tickSeconds[i] +=
             std::chrono::duration<double>(end - begin).count();

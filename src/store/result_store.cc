@@ -12,6 +12,7 @@
 #include <sstream>
 #include <system_error>
 
+#include "base/annotations.hh"
 #include "base/logging.hh"
 #include "store/record.hh"
 
@@ -54,10 +55,11 @@ cacheable(const RunResult &result)
 std::atomic<std::uint64_t> tempCounter{0};
 
 std::mutex processMutex;
-std::string explicitPath;
-bool explicitPathSet = false;
+LOOPSIM_CAMPAIGN_GUARDED("processMutex") std::string explicitPath;
+LOOPSIM_CAMPAIGN_GUARDED("processMutex") bool explicitPathSet = false;
+LOOPSIM_CAMPAIGN_GUARDED("processMutex")
 std::unique_ptr<ResultStore> openedStore;
-std::string openedPath;
+LOOPSIM_CAMPAIGN_GUARDED("processMutex") std::string openedPath;
 
 /** mtime in whole seconds of the filesystem clock epoch — only ever
  *  compared against other mtimes, never against simulated time. */
@@ -262,6 +264,8 @@ processStore()
 ResultMemo &
 processMemo()
 {
+    // The memo locks its own mutex around every lookup/insert.
+    LOOPSIM_CAMPAIGN_GUARDED("ResultMemo internal mutex")
     static ResultMemo memo;
     return memo;
 }

@@ -11,6 +11,8 @@
 #include <fstream>
 #include <mutex>
 
+#include "base/annotations.hh"
+
 namespace loopsim::trace
 {
 
@@ -224,6 +226,7 @@ std::mutex pathMutex;
 std::string &
 pathStorage()
 {
+    LOOPSIM_CAMPAIGN_GUARDED("pathMutex; latched before workers spawn")
     static std::string path = [] {
         // Latched once at startup, same pattern as base/debug.cc.
         const char *env = std::getenv("LOOPSIM_TRACE"); // NOLINT(concurrency-mt-unsafe)
@@ -244,6 +247,7 @@ std::mutex collectMutex;
 std::vector<RunTrace> &
 collected()
 {
+    LOOPSIM_CAMPAIGN_GUARDED("collectMutex; appended in plan order")
     static std::vector<RunTrace> runs;
     return runs;
 }

@@ -40,14 +40,14 @@ TraceSource::nextWrongPath(MicroOp &op, SeqNum resume_seq)
 }
 
 SyntheticTraceGenerator::SyntheticTraceGenerator(BenchmarkProfile profile,
-                                                 ThreadId tid,
+                                                 ThreadId thread,
                                                  std::uint64_t num_ops)
-    : prof(std::move(profile)), tid(tid), numOps(num_ops),
+    : prof(std::move(profile)), tid(thread), numOps(num_ops),
       rng(0, 0), wpRng(0, 0),
-      codeBase((Addr(tid) + 1) << 36 | 0x10000000ULL),
-      hotBase((Addr(tid) + 1) << 36 | 0x20000000ULL),
-      l2Base((Addr(tid) + 1) << 36 | 0x30000000ULL),
-      farBase((Addr(tid) + 1) << 36 | 0x40000000ULL)
+      codeBase((Addr(thread) + 1) << 36 | 0x10000000ULL),
+      hotBase((Addr(thread) + 1) << 36 | 0x20000000ULL),
+      l2Base((Addr(thread) + 1) << 36 | 0x30000000ULL),
+      farBase((Addr(thread) + 1) << 36 | 0x40000000ULL)
 {
     prof.validate();
     fatal_if(num_ops == 0, "empty trace requested");

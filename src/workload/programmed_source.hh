@@ -21,9 +21,9 @@ namespace loopsim
 class ProgrammedTraceSource : public TraceSource
 {
   public:
-    explicit ProgrammedTraceSource(std::vector<MicroOp> ops,
+    explicit ProgrammedTraceSource(std::vector<MicroOp> program_ops,
                                    std::string name = "programmed")
-        : ops(std::move(ops)), label(std::move(name))
+        : ops(std::move(program_ops)), label(std::move(name))
     {
         // Sequence numbers are assigned here so callers need not
         // bother; pcs default to a linear code region when unset.

@@ -66,8 +66,8 @@ unpack(const TraceRecord &r)
 
 } // anonymous namespace
 
-TraceWriter::TraceWriter(const std::string &path)
-    : file(std::fopen(path.c_str(), "wb")), path(path)
+TraceWriter::TraceWriter(const std::string &file_path)
+    : file(std::fopen(file_path.c_str(), "wb")), path(file_path)
 {
     fatal_if(!file, "cannot open trace file for writing: ", path);
     std::uint64_t zero = 0;
@@ -104,8 +104,8 @@ TraceWriter::finish()
     file = nullptr;
 }
 
-TraceReader::TraceReader(const std::string &path)
-    : file(std::fopen(path.c_str(), "rb")), path(path)
+TraceReader::TraceReader(const std::string &file_path)
+    : file(std::fopen(file_path.c_str(), "rb")), path(file_path)
 {
     fatal_if(!file, "cannot open trace file: ", path);
     char magic[4];

@@ -122,4 +122,4 @@ TEST_P(ProfileCalibration, TakenRateIsPlausible)
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProfileCalibration,
                          ::testing::ValuesIn(spec95Names()),
                          [](const ::testing::TestParamInfo<std::string>
-                                &info) { return info.param; });
+                                &pinfo) { return pinfo.param; });

@@ -171,9 +171,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          "turb3d"),
                        ::testing::Range<std::size_t>(0,
                                                      std::size(variants))),
-    [](const ::testing::TestParamInfo<SweepParam> &info) {
-        return std::get<0>(info.param) + "_" +
-               variants[std::get<1>(info.param)].label;
+    [](const ::testing::TestParamInfo<SweepParam> &pinfo) {
+        return std::get<0>(pinfo.param) + "_" +
+               variants[std::get<1>(pinfo.param)].label;
     });
 
 namespace
@@ -210,8 +210,8 @@ INSTANTIATE_TEST_SUITE_P(PaperPairs, SmtSweep,
                          ::testing::Values("m88-comp", "go-su2cor",
                                            "apsi-swim"),
                          [](const ::testing::TestParamInfo<std::string>
-                                &info) {
-                             std::string n = info.param;
+                                &pinfo) {
+                             std::string n = pinfo.param;
                              for (char &c : n)
                                  if (c == '-')
                                      c = '_';

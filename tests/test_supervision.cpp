@@ -661,9 +661,11 @@ TEST(CampaignInterrupt, SigintDrainsJournalsAndResumes)
     std::vector<RunResult> resumed = runCampaign(plan, {}, 2);
     CampaignTelemetry t = lastCampaignTelemetry();
     EXPECT_EQ(t.resumed + t.simulated, plan.size());
-    if (saw_entry && code == 130)
+    if (saw_entry && code == 130) {
         EXPECT_GE(t.resumed, 1u);
-    if (code == 0)
+    }
+    if (code == 0) {
         EXPECT_EQ(t.resumed, plan.size());
+    }
     expectSameResults(reference, resumed);
 }

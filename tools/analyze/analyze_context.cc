@@ -1,0 +1,193 @@
+#include "analyze_context.hh"
+
+#include <clang/Basic/FileManager.h>
+#include <llvm/ADT/SmallVector.h>
+#include <llvm/Support/Path.h>
+
+using clang::SourceLocation;
+using clang::SourceManager;
+using llvm::StringRef;
+
+namespace loopsim_analyze
+{
+
+namespace
+{
+
+// StringRef::startswith/endswith were removed in LLVM 18 and the
+// snake_case spellings only appeared in 16; spell out the comparison
+// so one source builds against Clang 14 through 18.
+bool
+prefixed(StringRef s, StringRef prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+suffixed(StringRef s, StringRef suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/** Normalise to forward slashes so scoping works on every host. */
+std::string
+normalise(StringRef path)
+{
+    std::string out = path.str();
+    for (char &c : out)
+        if (c == '\\')
+            c = '/';
+    return out;
+}
+
+bool
+pathContains(StringRef file, StringRef needle)
+{
+    return normalise(file).find(needle.str()) != std::string::npos;
+}
+
+/** The line carries `// ... loop:exempt(<reason>)`. */
+bool
+lineHasExempt(StringRef line)
+{
+    size_t comment = line.find("//");
+    if (comment == StringRef::npos)
+        return false;
+    StringRef tail = line.substr(comment);
+    size_t tag = tail.find("loop:exempt(");
+    if (tag == StringRef::npos)
+        return false;
+    // The reason is mandatory: reject an empty `loop:exempt()`.
+    StringRef reason = tail.substr(tag + strlen("loop:exempt("));
+    return !reason.empty() && reason.front() != ')';
+}
+
+} // anonymous namespace
+
+std::string
+AnalyzeContext::fileOf(const SourceManager &sm, SourceLocation loc)
+{
+    if (loc.isInvalid())
+        return {};
+    clang::PresumedLoc ploc = sm.getPresumedLoc(sm.getExpansionLoc(loc));
+    if (ploc.isInvalid())
+        return {};
+    return normalise(ploc.getFilename());
+}
+
+bool
+AnalyzeContext::inSimTree(const SourceManager &sm,
+                          SourceLocation loc) const
+{
+    std::string file = fileOf(sm, loc);
+    if (file.empty() || sm.isInSystemHeader(sm.getExpansionLoc(loc)))
+        return false;
+    if (opts.allPaths)
+        return true;
+    return pathContains(file, "/src/") || prefixed(file, "src/");
+}
+
+bool
+AnalyzeContext::inFeedbackScope(const SourceManager &sm,
+                                SourceLocation loc) const
+{
+    std::string file = fileOf(sm, loc);
+    if (file.empty() || sm.isInSystemHeader(sm.getExpansionLoc(loc)))
+        return false;
+    if (isPortImplementation(file))
+        return false;
+    if (opts.allPaths)
+        return true;
+    return pathContains(file, "/src/core/") ||
+           pathContains(file, "/src/dra/") ||
+           prefixed(file, "src/core/") || prefixed(file, "src/dra/");
+}
+
+bool
+AnalyzeContext::isPortImplementation(StringRef file)
+{
+    std::string n = normalise(file);
+    return suffixed(n, "sim/feedback_port.hh") ||
+           suffixed(n, "sim/feedback_port.cc");
+}
+
+const std::set<unsigned> &
+AnalyzeContext::exemptLines(const SourceManager &sm, clang::FileID fid)
+{
+    std::string name;
+    if (const clang::FileEntry *fe = sm.getFileEntryForID(fid))
+        name = normalise(fe->getName());
+    auto it = exemptCache.find(name);
+    if (it != exemptCache.end())
+        return it->second;
+
+    std::set<unsigned> &lines = exemptCache[name];
+    bool invalid = false;
+    StringRef buffer = sm.getBufferData(fid, &invalid);
+    if (invalid)
+        return lines;
+    unsigned lineno = 1;
+    while (!buffer.empty()) {
+        auto split = buffer.split('\n');
+        if (lineHasExempt(split.first))
+            lines.insert(lineno);
+        buffer = split.second;
+        ++lineno;
+    }
+    return lines;
+}
+
+bool
+AnalyzeContext::isExempt(const SourceManager &sm, SourceLocation loc)
+{
+    SourceLocation expansion = sm.getExpansionLoc(loc);
+    clang::FileID fid = sm.getFileID(expansion);
+    unsigned line = sm.getExpansionLineNumber(expansion);
+    const std::set<unsigned> &lines = exemptLines(sm, fid);
+    return lines.count(line) != 0 ||
+           (line > 1 && lines.count(line - 1) != 0);
+}
+
+void
+AnalyzeContext::report(const SourceManager &sm, SourceLocation loc,
+                       StringRef check, StringRef message)
+{
+    if (isExempt(sm, loc))
+        return;
+    Finding f;
+    f.file = fileOf(sm, loc);
+    f.line = sm.getExpansionLineNumber(sm.getExpansionLoc(loc));
+    f.check = check.str();
+    f.message = message.str();
+    findings.insert(std::move(f));
+}
+
+bool
+hasAnnotation(const clang::Decl *d, StringRef tag)
+{
+    if (!d)
+        return false;
+    for (const clang::Decl *redecl : d->redecls())
+        for (const auto *attr :
+             redecl->specific_attrs<clang::AnnotateAttr>())
+            if (attr->getAnnotation() == tag)
+                return true;
+    return false;
+}
+
+bool
+hasAnnotationPrefix(const clang::Decl *d, StringRef prefix)
+{
+    if (!d)
+        return false;
+    for (const clang::Decl *redecl : d->redecls())
+        for (const auto *attr :
+             redecl->specific_attrs<clang::AnnotateAttr>())
+            if (prefixed(attr->getAnnotation(), prefix))
+                return true;
+    return false;
+}
+
+} // namespace loopsim_analyze

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared plumbing for the loopsim-analyze AST checks.
+ *
+ * Findings, path scoping, the `loop:exempt` waiver index, and the
+ * [[clang::annotate]] vocabulary lookups (src/base/annotations.hh)
+ * live here so the four checks in checks.cc stay about semantics.
+ *
+ * Written against the stable subset of the Clang C API surface
+ * (RecursiveASTVisitor, AnnotateAttr, SourceManager buffers) so one
+ * source builds from Clang 14 through 18.
+ */
+
+#ifndef LOOPSIM_TOOLS_ANALYZE_ANALYZE_CONTEXT_HH
+#define LOOPSIM_TOOLS_ANALYZE_ANALYZE_CONTEXT_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <clang/AST/ASTContext.h>
+#include <clang/AST/Attr.h>
+#include <clang/AST/Decl.h>
+#include <clang/Basic/SourceManager.h>
+#include <llvm/ADT/StringRef.h>
+
+namespace loopsim_analyze
+{
+
+/** One diagnostic: file:line: [check] message, deduped across TUs. */
+struct Finding
+{
+    std::string file;
+    unsigned line = 0;
+    std::string check;
+    std::string message;
+
+    bool
+    operator<(const Finding &o) const
+    {
+        return std::tie(file, line, check, message) <
+               std::tie(o.file, o.line, o.check, o.message);
+    }
+};
+
+/** Which checks run and how paths are scoped. */
+struct Options
+{
+    /**
+     * Treat every non-system file as in scope for every check. Used
+     * by the fixture tests, whose sources do not live under src/.
+     */
+    bool allPaths = false;
+    /** Empty set means "all checks". */
+    std::set<std::string> onlyChecks;
+
+    bool
+    checkEnabled(llvm::StringRef name) const
+    {
+        return onlyChecks.empty() || onlyChecks.count(name.str()) != 0;
+    }
+};
+
+/**
+ * Accumulates findings for one tool run; exempt-comment lookups are
+ * cached per file. ClangTool runs TUs sequentially, so no locking.
+ */
+class AnalyzeContext
+{
+  public:
+    explicit AnalyzeContext(Options opts) : opts(std::move(opts)) {}
+
+    const Options &options() const { return opts; }
+
+    /**
+     * Record a finding at @p loc unless the line (or the line above
+     * it) carries a `// loop:exempt(<reason>)` waiver — the same
+     * convention tools/loop_lint.py honours.
+     */
+    void report(const clang::SourceManager &sm, clang::SourceLocation loc,
+                llvm::StringRef check, llvm::StringRef message);
+
+    /** True when the waiver comment covers @p loc. */
+    bool isExempt(const clang::SourceManager &sm,
+                  clang::SourceLocation loc);
+
+    const std::set<Finding> &results() const { return findings; }
+
+    // --- path scoping ----------------------------------------------
+
+    /** Filename of the expansion location; empty for invalid locs. */
+    static std::string fileOf(const clang::SourceManager &sm,
+                              clang::SourceLocation loc);
+
+    /**
+     * Simulator-tree scope: the file lives under src/ (or allPaths is
+     * set). Checks 1, 3 and 4 use this — tests legitimately poke wake
+     * state and host clocks.
+     */
+    bool inSimTree(const clang::SourceManager &sm,
+                   clang::SourceLocation loc) const;
+
+    /**
+     * Feedback-loop scope for the port-bypass check: src/core and
+     * src/dra, matching loop_lint's FEEDBACK_DIRS, minus the port
+     * implementation itself (or allPaths, minus nothing).
+     */
+    bool inFeedbackScope(const clang::SourceManager &sm,
+                         clang::SourceLocation loc) const;
+
+    /** The FeedbackPort implementation files themselves. */
+    static bool isPortImplementation(llvm::StringRef file);
+
+  private:
+    const std::set<unsigned> &exemptLines(const clang::SourceManager &sm,
+                                          clang::FileID fid);
+
+    Options opts;
+    std::set<Finding> findings;
+    /** FileID keys are only unique per TU; key by filename instead. */
+    std::map<std::string, std::set<unsigned>> exemptCache;
+};
+
+// --- annotation vocabulary (src/base/annotations.hh) ----------------
+
+inline constexpr llvm::StringLiteral kWakeState{"loopsim::wake_state"};
+inline constexpr llvm::StringLiteral kWakeHook{"loopsim::wake_hook"};
+inline constexpr llvm::StringLiteral kGuardedPrefix{"loopsim::guarded:"};
+inline constexpr llvm::StringLiteral kOrderSink{"loopsim::order_sink"};
+
+/** The decl (any redeclaration) carries annotate("<tag>"). */
+bool hasAnnotation(const clang::Decl *d, llvm::StringRef tag);
+
+/** The decl carries an annotate attribute starting with @p prefix. */
+bool hasAnnotationPrefix(const clang::Decl *d, llvm::StringRef prefix);
+
+/** Run all enabled checks over one parsed TU (defined in checks.cc). */
+void runChecks(clang::ASTContext &ast, AnalyzeContext &ctx);
+
+} // namespace loopsim_analyze
+
+#endif // LOOPSIM_TOOLS_ANALYZE_ANALYZE_CONTEXT_HH

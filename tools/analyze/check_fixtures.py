@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Expected-findings test for loopsim-analyze (ctest -L analyze).
+
+Each fixture in tools/analyze/fixtures marks the lines the analyzer
+must flag with a trailing `// expect: <check>` comment; files without
+markers (the *_paired / *_ported / *_clean negatives) must come back
+silent. The runner invokes the analyzer once over the whole corpus,
+compares the (file, line, check) sets exactly — missing findings and
+surprise findings both fail — and then re-runs with --sarif to check
+the report is well-formed and complete.
+
+Exit status: 0 when the corpus behaves, 1 on any mismatch, 2 on
+usage/environment errors.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+FINDING_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): "
+                        r"\[(?P<check>[a-z-]+)\] ")
+
+
+def expected_findings(fixtures):
+    expected = set()
+    for path in sorted(fixtures.glob("*.cc")):
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                expected.add((path.name, lineno, m.group(1)))
+    return expected
+
+
+def run_analyzer(analyzer, fixtures, src, extra=None):
+    cmd = [str(analyzer), "--all-paths"]
+    cmd += extra or []
+    cmd += [str(p) for p in sorted(fixtures.glob("*.cc"))]
+    cmd += ["--", "-std=c++20", f"-I{src}", f"-I{fixtures}"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 2:
+        print("analyzer reported tool/parse errors:", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        sys.exit(2)
+    return proc
+
+
+def parse_findings(stdout):
+    actual = set()
+    for line in stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            actual.add((Path(m.group("file")).name,
+                        int(m.group("line")), m.group("check")))
+    return actual
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="expected-findings test for loopsim-analyze")
+    parser.add_argument("--analyzer", type=Path, required=True)
+    parser.add_argument("--fixtures", type=Path, required=True)
+    parser.add_argument("--src", type=Path, required=True,
+                        help="repo src/ dir (for base/annotations.hh)")
+    args = parser.parse_args(argv)
+    if not args.analyzer.exists():
+        print(f"no analyzer at {args.analyzer}", file=sys.stderr)
+        return 2
+    if not args.fixtures.is_dir():
+        print(f"no fixture dir {args.fixtures}", file=sys.stderr)
+        return 2
+
+    expected = expected_findings(args.fixtures)
+    if not expected:
+        print("fixture corpus has no expect markers", file=sys.stderr)
+        return 2
+
+    proc = run_analyzer(args.analyzer, args.fixtures, args.src)
+    actual = parse_findings(proc.stdout)
+
+    failures = []
+    for item in sorted(expected - actual):
+        failures.append(f"MISSED  {item[0]}:{item[1]} [{item[2]}]")
+    for item in sorted(actual - expected):
+        failures.append(f"SURPRISE {item[0]}:{item[1]} [{item[2]}]")
+    if proc.returncode != 1:
+        failures.append(
+            f"exit status {proc.returncode}, expected 1 (findings)")
+
+    # The four checks must each demonstrably fire at least once.
+    for check in ("wake-soundness", "feedback-bypass", "determinism",
+                  "campaign-statics"):
+        if not any(f[2] == check for f in actual):
+            failures.append(f"check {check} never fired")
+
+    # SARIF report: well-formed 2.1.0 with one result per finding.
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = Path(tmp) / "findings.sarif"
+        run_analyzer(args.analyzer, args.fixtures, args.src,
+                     extra=[f"--sarif={sarif_path}"])
+        try:
+            sarif = json.loads(sarif_path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"SARIF unreadable: {err}")
+            sarif = None
+        if sarif is not None:
+            if sarif.get("version") != "2.1.0":
+                failures.append("SARIF version is not 2.1.0")
+            results = sarif.get("runs", [{}])[0].get("results", [])
+            if len(results) != len(actual):
+                failures.append(
+                    f"SARIF has {len(results)} results, stdout had "
+                    f"{len(actual)} findings")
+
+    if failures:
+        for f in failures:
+            print(f"fixture check FAILED: {f}", file=sys.stderr)
+        print("--- analyzer stdout ---", file=sys.stderr)
+        sys.stderr.write(proc.stdout)
+        return 1
+    print(f"fixture corpus OK: {len(actual)} expected findings, "
+          f"all four checks fired, SARIF well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

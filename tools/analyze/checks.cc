@@ -1,0 +1,645 @@
+/**
+ * @file
+ * The four loopsim AST checks (DESIGN.md §15).
+ *
+ *  wake-soundness    A function that mutates LOOPSIM_WAKE_STATE
+ *                    fields (or calls a wake_state function) must
+ *                    also call a LOOPSIM_WAKE_HOOK, or the sparse
+ *                    event-wheel kernel can sleep through the state
+ *                    change (the PR-7 dense/sparse divergence class).
+ *                    Deliberately function-granular, not path
+ *                    sensitive: processEvents hooks conservatively
+ *                    up front under a condition the CFG cannot
+ *                    correlate with the event switch below it, so
+ *                    "hook on every path" would flag paths the event
+ *                    vocabulary makes infeasible.
+ *
+ *  feedback-bypass   Constructions of the feedback signal structs
+ *                    and uses of the six feedback EventTypes must sit
+ *                    in functions that talk to a FeedbackPort
+ *                    (send/read/readStamped). The AST successor to
+ *                    loop_lint's 15-line proximity regex: canonical
+ *                    types see through typedefs and aliases, and
+ *                    whole-function containment replaces the line
+ *                    window.
+ *
+ *  determinism       Range-for over unordered (or pointer-keyed
+ *                    ordered) containers whose body reaches an
+ *                    order-observable sink — stats export, trace
+ *                    sinks, store fingerprinting, figure assembly,
+ *                    ostream output — plus wall-clock / rand /
+ *                    random_device outside base/random. Sees through
+ *                    `using clock = std::chrono::steady_clock` where
+ *                    the regex cannot.
+ *
+ *  campaign-statics  Mutable namespace-scope or function-local
+ *                    static state in src/ that is not atomic, not a
+ *                    mutex-family type, not thread_local, and not
+ *                    annotated LOOPSIM_CAMPAIGN_GUARDED(how): the
+ *                    parallel campaign executor shares it between
+ *                    workers.
+ *
+ * All checks honour `// loop:exempt(<reason>)` (AnalyzeContext).
+ */
+
+#include "analyze_context.hh"
+
+#include <clang/AST/DeclCXX.h>
+#include <clang/AST/DeclTemplate.h>
+#include <clang/AST/ExprCXX.h>
+#include <clang/AST/RecursiveASTVisitor.h>
+#include <clang/AST/StmtCXX.h>
+
+using namespace clang;
+using llvm::StringRef;
+
+namespace loopsim_analyze
+{
+namespace
+{
+
+constexpr const char *kCheckWake = "wake-soundness";
+constexpr const char *kCheckBypass = "feedback-bypass";
+constexpr const char *kCheckDeterminism = "determinism";
+constexpr const char *kCheckStatics = "campaign-statics";
+
+bool
+nameIs(const NamedDecl *d, std::initializer_list<StringRef> names)
+{
+    if (!d || !d->getIdentifier())
+        return false;
+    StringRef n = d->getName();
+    for (StringRef want : names)
+        if (n == want)
+            return true;
+    return false;
+}
+
+/** The wake_state field a member chain ultimately writes, if any. */
+const FieldDecl *
+wakeFieldOf(const Expr *e)
+{
+    if (!e)
+        return nullptr;
+    const Expr *stripped = e->IgnoreParenImpCasts();
+    const auto *member = dyn_cast<MemberExpr>(stripped);
+    if (!member)
+        return nullptr;
+    const auto *field = dyn_cast<FieldDecl>(member->getMemberDecl());
+    if (field && hasAnnotation(field, kWakeState))
+        return field;
+    return nullptr;
+}
+
+// --- wake-soundness --------------------------------------------------
+
+/** Collects wake-state mutations and wake-hook calls in one body. */
+class WakeBodyScanner : public RecursiveASTVisitor<WakeBodyScanner>
+{
+  public:
+    struct Mutation
+    {
+        SourceLocation loc;
+        std::string what;
+    };
+
+    bool hookCalled = false;
+    /** Unresolved callees (dependent code): stay silent, not wrong. */
+    bool unresolvedCall = false;
+    std::vector<Mutation> mutations;
+
+    bool
+    VisitBinaryOperator(BinaryOperator *bo)
+    {
+        if (bo->isAssignmentOp())
+            noteFieldWrite(bo->getLHS(), bo->getOperatorLoc());
+        return true;
+    }
+
+    bool
+    VisitUnaryOperator(UnaryOperator *uo)
+    {
+        if (uo->isIncrementDecrementOp())
+            noteFieldWrite(uo->getSubExpr(), uo->getOperatorLoc());
+        return true;
+    }
+
+    bool
+    VisitCXXOperatorCallExpr(CXXOperatorCallExpr *oc)
+    {
+        if ((oc->isAssignmentOp() ||
+             oc->getOperator() == OO_PlusPlus ||
+             oc->getOperator() == OO_MinusMinus) &&
+            oc->getNumArgs() > 0)
+            noteFieldWrite(oc->getArg(0), oc->getOperatorLoc());
+        return true;
+    }
+
+    bool
+    VisitCallExpr(CallExpr *ce)
+    {
+        const FunctionDecl *callee = ce->getDirectCallee();
+        if (!callee) {
+            unresolvedCall = true;
+            return true;
+        }
+        if (hasAnnotation(callee, kWakeHook)) {
+            hookCalled = true;
+            return true;
+        }
+        if (hasAnnotation(callee, kWakeState))
+            mutations.push_back(
+                {ce->getBeginLoc(),
+                 "call to wake-state function '" +
+                     callee->getNameAsString() + "'"});
+        return true;
+    }
+
+    bool
+    VisitCXXMemberCallExpr(CXXMemberCallExpr *mc)
+    {
+        const CXXMethodDecl *method = mc->getMethodDecl();
+        if (!method || method->isConst())
+            return true;
+        if (const FieldDecl *field =
+                wakeFieldOf(mc->getImplicitObjectArgument()))
+            mutations.push_back(
+                {mc->getBeginLoc(),
+                 "non-const call '" + method->getNameAsString() +
+                     "' on wake-state field '" +
+                     field->getNameAsString() + "'"});
+        return true;
+    }
+
+  private:
+    void
+    noteFieldWrite(const Expr *target, SourceLocation loc)
+    {
+        if (const FieldDecl *field = wakeFieldOf(target))
+            mutations.push_back(
+                {loc, "write to wake-state field '" +
+                          field->getNameAsString() + "'"});
+    }
+};
+
+// --- feedback-bypass -------------------------------------------------
+
+bool
+isSignalStructName(StringRef n)
+{
+    return n == "BranchResolveMsg" || n == "LoadResolveMsg" ||
+           n == "OperandMissMsg";
+}
+
+bool
+isFeedbackEventName(StringRef n)
+{
+    return n == "BranchRedirect" || n == "LoadMissKill" ||
+           n == "OperandMissKill" || n == "TlbTrap" ||
+           n == "OrderTrap" || n == "PayloadDelivery";
+}
+
+/** Collects port traffic and raw signal/event uses in one body. */
+class PortBodyScanner : public RecursiveASTVisitor<PortBodyScanner>
+{
+  public:
+    struct Use
+    {
+        SourceLocation loc;
+        std::string what;
+    };
+
+    bool portCall = false;
+    std::vector<Use> signalUses;
+    std::vector<Use> eventUses;
+
+    bool
+    VisitCXXMemberCallExpr(CXXMemberCallExpr *mc)
+    {
+        const CXXMethodDecl *method = mc->getMethodDecl();
+        if (method &&
+            nameIs(method, {"send", "read", "readStamped"}) &&
+            nameIs(method->getParent(), {"FeedbackPort"}))
+            portCall = true;
+        return true;
+    }
+
+    bool
+    VisitCXXConstructExpr(CXXConstructExpr *ce)
+    {
+        noteSignalType(ce->getType(), ce->getBeginLoc());
+        return true;
+    }
+
+    bool
+    VisitInitListExpr(InitListExpr *ile)
+    {
+        noteSignalType(ile->getType(), ile->getBeginLoc());
+        return true;
+    }
+
+    bool
+    VisitDeclRefExpr(DeclRefExpr *dre)
+    {
+        const auto *enumerator =
+            dyn_cast<EnumConstantDecl>(dre->getDecl());
+        if (!enumerator ||
+            !isFeedbackEventName(enumerator->getName()))
+            return true;
+        const auto *parent =
+            dyn_cast<EnumDecl>(enumerator->getDeclContext());
+        if (parent && nameIs(parent, {"EventType"}))
+            eventUses.push_back({dre->getBeginLoc(),
+                                 enumerator->getNameAsString()});
+        return true;
+    }
+
+  private:
+    void
+    noteSignalType(QualType type, SourceLocation loc)
+    {
+        // Canonical type: sees through typedefs and using-aliases,
+        // the shapes loop_lint's name regex cannot follow.
+        const RecordDecl *record =
+            type.getCanonicalType()->getAsRecordDecl();
+        if (record && record->getIdentifier() &&
+            isSignalStructName(record->getName()))
+            signalUses.push_back({loc, record->getNameAsString()});
+    }
+};
+
+// --- determinism -----------------------------------------------------
+
+bool
+isUnorderedContainerName(StringRef n)
+{
+    return n == "unordered_map" || n == "unordered_set" ||
+           n == "unordered_multimap" || n == "unordered_multiset";
+}
+
+bool
+isOrderedAssocContainerName(StringRef n)
+{
+    return n == "map" || n == "set" || n == "multimap" ||
+           n == "multiset";
+}
+
+/**
+ * Classify a range-for's range as iteration-order hazardous; returns
+ * a human description or the empty string.
+ */
+std::string
+hazardousRange(QualType type)
+{
+    const RecordDecl *record = type.getNonReferenceType()
+                                   .getCanonicalType()
+                                   ->getAsRecordDecl();
+    if (!record || !record->getIdentifier())
+        return {};
+    StringRef n = record->getName();
+    if (isUnorderedContainerName(n))
+        return "std::" + n.str() + " (hash order)";
+    if (!isOrderedAssocContainerName(n))
+        return {};
+    const auto *spec =
+        dyn_cast<ClassTemplateSpecializationDecl>(record);
+    if (!spec || spec->getTemplateArgs().size() == 0)
+        return {};
+    const TemplateArgument &key = spec->getTemplateArgs()[0];
+    if (key.getKind() == TemplateArgument::Type &&
+        key.getAsType().getCanonicalType()->isPointerType())
+        return "pointer-keyed std::" + n.str() +
+               " (address order varies run to run)";
+    return {};
+}
+
+/** Does a loop body reach an order-observable sink? */
+class SinkScanner : public RecursiveASTVisitor<SinkScanner>
+{
+  public:
+    explicit SinkScanner(const SourceManager &sm) : sm(sm) {}
+
+    bool sinkFound = false;
+    std::string sinkName;
+
+    bool
+    VisitCallExpr(CallExpr *ce)
+    {
+        const FunctionDecl *callee = ce->getDirectCallee();
+        if (!callee || sinkFound)
+            return true;
+        if (hasAnnotation(callee, kOrderSink)) {
+            found(callee);
+            return true;
+        }
+        if (callee->getDeclName().getCXXOverloadedOperator() ==
+                OO_LessLess &&
+            streamInsert(ce)) {
+            found(callee);
+            return true;
+        }
+        std::string file =
+            AnalyzeContext::fileOf(sm, callee->getLocation());
+        for (const char *dir :
+             {"/src/stats/", "/src/trace/", "/src/store/",
+              "/src/harness/report", "/src/harness/figures"})
+            if (file.find(dir) != std::string::npos) {
+                found(callee);
+                return true;
+            }
+        return true;
+    }
+
+  private:
+    bool
+    streamInsert(const CallExpr *ce) const
+    {
+        if (ce->getNumArgs() == 0)
+            return false;
+        const RecordDecl *record = ce->getArg(0)
+                                       ->getType()
+                                       .getNonReferenceType()
+                                       .getCanonicalType()
+                                       ->getAsRecordDecl();
+        return record && record->getIdentifier() &&
+               record->getName() == "basic_ostream";
+    }
+
+    void
+    found(const FunctionDecl *callee)
+    {
+        sinkFound = true;
+        sinkName = callee->getNameAsString();
+    }
+
+    const SourceManager &sm;
+};
+
+bool
+isClockNowCall(const FunctionDecl *callee)
+{
+    if (!nameIs(callee, {"now"}))
+        return false;
+    const auto *record =
+        dyn_cast<CXXRecordDecl>(callee->getDeclContext());
+    return nameIs(record, {"steady_clock", "system_clock",
+                           "high_resolution_clock"});
+}
+
+bool
+isBannedTimeSource(const FunctionDecl *callee, std::string &what)
+{
+    if (nameIs(callee, {"rand", "srand"})) {
+        what = callee->getNameAsString() + "()";
+        return true;
+    }
+    if (nameIs(callee, {"time"}) && callee->getNumParams() <= 1 &&
+        !isa<CXXMethodDecl>(callee)) {
+        what = "time()";
+        return true;
+    }
+    if (isClockNowCall(callee)) {
+        const auto *clock =
+            dyn_cast<CXXRecordDecl>(callee->getDeclContext());
+        what = "std::chrono::" +
+               (clock ? clock->getNameAsString()
+                      : std::string("clock")) +
+               "::now()";
+        return true;
+    }
+    return false;
+}
+
+/** Per-body scan for both determinism hazards. */
+class DeterminismScanner
+    : public RecursiveASTVisitor<DeterminismScanner>
+{
+  public:
+    struct Hazard
+    {
+        SourceLocation loc;
+        std::string what;
+    };
+
+    explicit DeterminismScanner(const SourceManager &sm) : sm(sm) {}
+
+    std::vector<Hazard> orderHazards;
+    std::vector<Hazard> timeHazards;
+
+    bool
+    VisitCXXForRangeStmt(CXXForRangeStmt *loop)
+    {
+        const Expr *range = loop->getRangeInit();
+        if (!range)
+            return true;
+        std::string container = hazardousRange(range->getType());
+        if (container.empty())
+            return true;
+        SinkScanner sinks(sm);
+        sinks.TraverseStmt(loop->getBody());
+        if (sinks.sinkFound)
+            orderHazards.push_back(
+                {loop->getBeginLoc(),
+                 "iteration over " + container + " reaches '" +
+                     sinks.sinkName +
+                     "', an order-observable sink; iterate a sorted "
+                     "view instead"});
+        return true;
+    }
+
+    bool
+    VisitCallExpr(CallExpr *ce)
+    {
+        const FunctionDecl *callee = ce->getDirectCallee();
+        std::string what;
+        if (callee && isBannedTimeSource(callee, what))
+            timeHazards.push_back({ce->getBeginLoc(), what});
+        return true;
+    }
+
+    bool
+    VisitCXXConstructExpr(CXXConstructExpr *ce)
+    {
+        const RecordDecl *record =
+            ce->getType().getCanonicalType()->getAsRecordDecl();
+        if (record && record->getIdentifier() &&
+            record->getName() == "random_device")
+            timeHazards.push_back(
+                {ce->getBeginLoc(), "std::random_device"});
+        return true;
+    }
+
+  private:
+    const SourceManager &sm;
+};
+
+// --- campaign-statics ------------------------------------------------
+
+bool
+isSynchronisationType(QualType type)
+{
+    const RecordDecl *record =
+        type.getCanonicalType()->getAsRecordDecl();
+    if (!record || !record->getIdentifier())
+        return false;
+    return nameIs(record,
+                  {"atomic", "atomic_flag", "mutex", "timed_mutex",
+                   "recursive_mutex", "recursive_timed_mutex",
+                   "shared_mutex", "shared_timed_mutex", "once_flag",
+                   "condition_variable", "condition_variable_any"});
+}
+
+// --- driving visitor -------------------------------------------------
+
+/**
+ * One pass over the TU: function definitions feed the three
+ * body-scoped checks, VarDecls feed campaign-statics.
+ */
+class TreeVisitor : public RecursiveASTVisitor<TreeVisitor>
+{
+  public:
+    TreeVisitor(ASTContext &ast, AnalyzeContext &ctx)
+        : ast(ast), ctx(ctx), sm(ast.getSourceManager())
+    {
+    }
+
+    bool
+    VisitFunctionDecl(FunctionDecl *fd)
+    {
+        if (!fd->doesThisDeclarationHaveABody() || !fd->getBody())
+            return true;
+        if (fd->isImplicit() || fd->isDefaulted())
+            return true;
+        // Lambda call operators are scanned as part of the function
+        // that contains the lambda, never on their own — a hook in
+        // the enclosing body discharges the obligation.
+        if (const auto *method = dyn_cast<CXXMethodDecl>(fd))
+            if (method->getParent()->isLambda())
+                return true;
+
+        if (ctx.options().checkEnabled(kCheckWake))
+            checkWakeSoundness(fd);
+        if (ctx.options().checkEnabled(kCheckBypass))
+            checkFeedbackBypass(fd);
+        if (ctx.options().checkEnabled(kCheckDeterminism))
+            checkDeterminism(fd);
+        return true;
+    }
+
+    bool
+    VisitVarDecl(VarDecl *vd)
+    {
+        if (!ctx.options().checkEnabled(kCheckStatics))
+            return true;
+        if (isa<ParmVarDecl>(vd) || !vd->hasGlobalStorage() ||
+            !vd->isThisDeclarationADefinition())
+            return true;
+        if (!ctx.inSimTree(sm, vd->getLocation()))
+            return true;
+        if (vd->isConstexpr() || vd->getType().isConstant(ast) ||
+            vd->getTLSKind() != VarDecl::TLS_None)
+            return true;
+        if (isSynchronisationType(vd->getType()))
+            return true;
+        if (hasAnnotationPrefix(vd, kGuardedPrefix))
+            return true;
+        ctx.report(sm, vd->getLocation(), kCheckStatics,
+                   "mutable static '" + vd->getNameAsString() +
+                       "' is not atomic, not a mutex/once_flag, not "
+                       "thread_local and not annotated "
+                       "LOOPSIM_CAMPAIGN_GUARDED(how): campaign "
+                       "workers share this state");
+        return true;
+    }
+
+  private:
+    void
+    checkWakeSoundness(FunctionDecl *fd)
+    {
+        if (!ctx.inSimTree(sm, fd->getLocation()))
+            return;
+        // wake_state functions carry the obligation to their call
+        // sites; wake_hook functions are the discharge itself.
+        if (hasAnnotation(fd, kWakeState) ||
+            hasAnnotation(fd, kWakeHook))
+            return;
+        WakeBodyScanner scan;
+        scan.TraverseStmt(fd->getBody());
+        if (scan.hookCalled || scan.unresolvedCall)
+            return;
+        for (const WakeBodyScanner::Mutation &m : scan.mutations)
+            ctx.report(sm, m.loc, kCheckWake,
+                       "'" + fd->getNameAsString() + "' has a " +
+                           m.what +
+                           " but never declares a wake: call a "
+                           "LOOPSIM_WAKE_HOOK (noteIqWake/wakeReg/"
+                           "schedule) or annotate the function "
+                           "LOOPSIM_WAKE_STATE so callers inherit "
+                           "the obligation");
+    }
+
+    void
+    checkFeedbackBypass(FunctionDecl *fd)
+    {
+        if (!ctx.inFeedbackScope(sm, fd->getLocation()))
+            return;
+        PortBodyScanner scan;
+        scan.TraverseStmt(fd->getBody());
+        if (scan.portCall)
+            return;
+        for (const PortBodyScanner::Use &use : scan.signalUses)
+            ctx.report(sm, use.loc, kCheckBypass,
+                       "signal struct " + use.what +
+                           " constructed in '" +
+                           fd->getNameAsString() +
+                           "', which never calls FeedbackPort::"
+                           "send()/read()/readStamped(): feedback "
+                           "payloads travel only through the "
+                           "stamped port");
+        for (const PortBodyScanner::Use &use : scan.eventUses)
+            ctx.report(sm, use.loc, kCheckBypass,
+                       "feedback event EventType::" + use.what +
+                           " used in '" + fd->getNameAsString() +
+                           "', which never calls FeedbackPort::"
+                           "send()/read()/readStamped(): the signal "
+                           "bypasses the stamped port");
+    }
+
+    void
+    checkDeterminism(FunctionDecl *fd)
+    {
+        if (!ctx.inSimTree(sm, fd->getLocation()))
+            return;
+        std::string file =
+            AnalyzeContext::fileOf(sm, fd->getLocation());
+        // The seeded PCG is the sanctioned randomness source.
+        if (file.find("base/random.") != std::string::npos)
+            return;
+        DeterminismScanner scan(sm);
+        scan.TraverseStmt(fd->getBody());
+        for (const DeterminismScanner::Hazard &h : scan.orderHazards)
+            ctx.report(sm, h.loc, kCheckDeterminism, h.what);
+        for (const DeterminismScanner::Hazard &h : scan.timeHazards)
+            ctx.report(sm, h.loc, kCheckDeterminism,
+                       h.what +
+                           " in simulation code: runs must be "
+                           "reproducible from their seeds (use the "
+                           "seeded base/random PCG, or waive "
+                           "host-side telemetry with loop:exempt)");
+    }
+
+    ASTContext &ast;
+    AnalyzeContext &ctx;
+    const SourceManager &sm;
+};
+
+} // anonymous namespace
+
+void
+runChecks(ASTContext &ast, AnalyzeContext &ctx)
+{
+    TreeVisitor visitor(ast, ctx);
+    visitor.TraverseDecl(ast.getTranslationUnitDecl());
+}
+
+} // namespace loopsim_analyze

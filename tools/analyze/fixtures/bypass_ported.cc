@@ -1,0 +1,53 @@
+/**
+ * @file
+ * NEGATIVE feedback-bypass fixtures: everything here either talks to
+ * a FeedbackPort in the same function or carries a reviewed waiver.
+ * The analyzer must stay silent on this file.
+ */
+
+#include "fixture_world.hh"
+
+namespace fixture
+{
+
+class PortedCore
+{
+  public:
+    void resolveBranch(Cycle now);
+    void consumeRedirect(Cycle now);
+    void replayOffline(Cycle now);
+
+  private:
+    FeedbackPort<BranchResolveMsg> branchPort;
+    Event pending{};
+};
+
+/** The healthy shape: the payload flows into the stamped port. */
+void
+PortedCore::resolveBranch(Cycle now)
+{
+    branchPort.send(now, 2, BranchResolveMsg{0, now});
+}
+
+/**
+ * Reading the port and scheduling the matching event in the same
+ * function is the wheel's delivery pattern (Core::processEvents).
+ */
+void
+PortedCore::consumeRedirect(Cycle now)
+{
+    BranchResolveMsg msg = branchPort.read(now);
+    pending = Event{now + 1, EventType::BranchRedirect};
+    (void)msg;
+}
+
+/** A reviewed waiver for offline tooling that rebuilds signals. */
+void
+PortedCore::replayOffline(Cycle now)
+{
+    // loop:exempt(analyze: replay tool reconstructs signals offline)
+    BranchResolveMsg msg{1, now};
+    (void)msg;
+}
+
+} // namespace fixture

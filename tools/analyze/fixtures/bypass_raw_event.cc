@@ -1,0 +1,52 @@
+/**
+ * @file
+ * POSITIVE feedback-bypass fixtures: signal structs and feedback
+ * EventTypes used in functions that never talk to a FeedbackPort —
+ * including the typedef/alias shape loop_lint's name regex cannot
+ * see (the AST check matches canonical types).
+ */
+
+#include "fixture_world.hh"
+
+namespace fixture
+{
+
+class RawCore
+{
+  public:
+    void resolveBranchRaw(Cycle now);
+    void stashAliasedMsg(Cycle now);
+    void recordMiss(unsigned mask);
+
+  private:
+    FeedbackPort<BranchResolveMsg> branchPort;
+    Event pending{};
+    OperandMissMsg lastMiss{};
+};
+
+/** The redirect event scheduled directly, skipping the port. */
+void
+RawCore::resolveBranchRaw(Cycle now)
+{
+    pending = Event{now + 2, EventType::BranchRedirect}; // expect: feedback-bypass
+}
+
+/** Alias shape: the regex looks for the struct name, the AST looks
+ *  through the alias to the canonical type. */
+using Redirect = BranchResolveMsg;
+
+void
+RawCore::stashAliasedMsg(Cycle now)
+{
+    Redirect msg{0, now}; // expect: feedback-bypass
+    (void)msg;
+}
+
+/** Signal payload built and squirrelled away outside any port. */
+void
+RawCore::recordMiss(unsigned mask)
+{
+    lastMiss = OperandMissMsg{mask}; // expect: feedback-bypass
+}
+
+} // namespace fixture

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * NEGATIVE determinism fixtures: ordered iteration into sinks,
+ * order-insensitive unordered iteration, and a waived host-telemetry
+ * clock read. The analyzer must stay silent on this file.
+ */
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "fixture_world.hh"
+
+namespace fixture
+{
+
+LOOPSIM_ORDER_SINK void exportStat(const char *name, double value);
+void note(double value);
+
+/** Sorted iteration into the sink is the sanctioned shape. */
+void
+dumpSorted(const std::map<std::string, double> &stats)
+{
+    for (const auto &entry : stats)
+        exportStat(entry.first.c_str(), entry.second);
+}
+
+/** Unordered iteration is fine when the fold is order-insensitive
+ *  and nothing order-observable is called. */
+double
+total(const std::unordered_map<std::string, double> &stats)
+{
+    double sum = 0.0;
+    for (const auto &entry : stats) {
+        note(entry.second);
+        sum += entry.second;
+    }
+    return sum;
+}
+
+/** Host-side profiling telemetry carries a reviewed waiver. */
+Cycle
+profileTick()
+{
+    // loop:exempt(analyze: host profiling telemetry)
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<Cycle>(t.time_since_epoch().count());
+}
+
+} // namespace fixture

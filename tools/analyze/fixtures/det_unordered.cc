@@ -1,0 +1,51 @@
+/**
+ * @file
+ * POSITIVE determinism fixtures: unordered and pointer-keyed
+ * iteration reaching an order-observable sink, and wall-clock reads
+ * — including the `using clock = ...` alias shape the regex linter
+ * cannot see.
+ */
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "fixture_world.hh"
+
+namespace fixture
+{
+
+LOOPSIM_ORDER_SINK void exportStat(const char *name, double value);
+
+struct DynInst
+{
+    unsigned seq;
+};
+
+/** Hash order leaks straight into the exported report. */
+void
+dumpStats(const std::unordered_map<std::string, double> &stats)
+{
+    for (const auto &entry : stats) // expect: determinism
+        exportStat(entry.first.c_str(), entry.second);
+}
+
+/** Ordered container, but the key is an address: order varies. */
+void
+dumpCosts(const std::map<const DynInst *, double> &costs)
+{
+    for (const auto &entry : costs) // expect: determinism
+        exportStat("inst-cost", entry.second);
+}
+
+/** Wall clock behind a local alias; canonical types see through. */
+Cycle
+stampNow()
+{
+    using clock = std::chrono::steady_clock;
+    const auto t = clock::now(); // expect: determinism
+    return static_cast<Cycle>(t.time_since_epoch().count());
+}
+
+} // namespace fixture

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Miniature world for the loopsim-analyze fixture corpus: the same
+ * names and shapes the real tree uses (FeedbackPort, the feedback
+ * EventTypes, the resolve-message structs), small enough to parse
+ * standalone. The checks match by name and annotation, so these
+ * stand-ins exercise exactly the code paths the real tree does.
+ *
+ * Compiled with `-I<repo>/src` so the real annotation macros
+ * (base/annotations.hh) are the ones under test.
+ */
+
+#ifndef LOOPSIM_TOOLS_ANALYZE_FIXTURES_FIXTURE_WORLD_HH
+#define LOOPSIM_TOOLS_ANALYZE_FIXTURES_FIXTURE_WORLD_HH
+
+#include <cstdint>
+
+#include "base/annotations.hh"
+
+namespace fixture
+{
+
+using Cycle = std::uint64_t;
+
+struct BranchResolveMsg
+{
+    unsigned tid;
+    std::uint64_t stamp;
+};
+
+struct LoadResolveMsg
+{
+    unsigned tid;
+    std::uint64_t stamp;
+};
+
+struct OperandMissMsg
+{
+    unsigned missMask;
+};
+
+enum class EventType
+{
+    Writeback,
+    ExecStart,
+    BranchRedirect,
+    LoadMissKill,
+    OperandMissKill,
+    TlbTrap,
+    OrderTrap,
+    PayloadDelivery,
+};
+
+struct Event
+{
+    Cycle at;
+    EventType type;
+};
+
+template <typename MsgT>
+class FeedbackPort
+{
+  public:
+    std::uint64_t
+    send(Cycle at, Cycle delay, const MsgT &msg)
+    {
+        (void)at;
+        (void)delay;
+        last = msg;
+        return ++ids;
+    }
+
+    MsgT
+    read(Cycle now) const
+    {
+        (void)now;
+        return last;
+    }
+
+    MsgT
+    readStamped(std::uint64_t id, Cycle now) const
+    {
+        (void)id;
+        (void)now;
+        return last;
+    }
+
+  private:
+    MsgT last{};
+    std::uint64_t ids = 0;
+};
+
+} // namespace fixture
+
+#endif // LOOPSIM_TOOLS_ANALYZE_FIXTURES_FIXTURE_WORLD_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * NEGATIVE campaign-statics fixtures: every static here is either
+ * immutable, synchronised by type, thread-local, annotated with its
+ * guard, or waived. The analyzer must stay silent on this file.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "base/annotations.hh"
+
+namespace fixture
+{
+
+constexpr std::uint64_t kSeed = 42;
+const char *const kLabel = "fixture";
+
+std::atomic<std::uint64_t> liveCounter{0};
+std::mutex tableMutex;
+std::once_flag initOnce;
+thread_local std::uint64_t scratch = 0;
+
+LOOPSIM_CAMPAIGN_GUARDED("tableMutex") std::uint64_t guardedTotal = 0;
+
+// loop:exempt(analyze: fixture-only knob, never touched by workers)
+std::uint64_t waivedKnob = 0;
+
+std::uint64_t
+bump()
+{
+    std::lock_guard<std::mutex> hold(tableMutex);
+    guardedTotal += 1;
+    return guardedTotal;
+}
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * POSITIVE campaign-statics fixtures: mutable static state with no
+ * synchronisation story — exactly what the parallel campaign
+ * executor's workers would race on.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture
+{
+
+std::uint64_t runCounter = 0; // expect: campaign-statics
+
+std::uint64_t
+nextRunId()
+{
+    static std::uint64_t lastId = 0; // expect: campaign-statics
+    return ++lastId;
+}
+
+std::vector<int> &
+scratchPool()
+{
+    static std::vector<int> pool; // expect: campaign-statics
+    return pool;
+}
+
+} // namespace fixture

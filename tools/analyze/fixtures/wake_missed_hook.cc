@@ -1,0 +1,71 @@
+/**
+ * @file
+ * POSITIVE wake-soundness fixtures, including the deliberate PR-7
+ * mutant: a structural copy of the issue-stage hook pattern
+ * (src/core/core_backend.cc Core::issueStage) with the one
+ * noteIqWake call deleted. Under the sparse event-wheel kernel that
+ * drop silently desyncs dense/sparse equivalence at runtime; the
+ * analyzer must catch it at compile time.
+ */
+
+#include "fixture_world.hh"
+
+namespace fixture
+{
+
+struct EventQueue
+{
+    void push(Event ev);
+    Event pop();
+    bool empty() const;
+};
+
+class MiniCore
+{
+  public:
+    LOOPSIM_WAKE_HOOK void noteIqWake(Cycle c);
+    LOOPSIM_WAKE_HOOK void wakeReg(unsigned reg, Cycle at);
+    LOOPSIM_WAKE_STATE void killEntry(unsigned slot, Cycle now);
+
+    void issueStage(Cycle now);
+    void reclaim(Cycle now);
+    void scheduleRaw(Event ev);
+
+  private:
+    LOOPSIM_WAKE_STATE Cycle iqWakeAt = 0;
+    LOOPSIM_WAKE_STATE unsigned iqOccupancy = 0;
+    LOOPSIM_WAKE_STATE EventQueue events;
+    unsigned issuedThisCycle = 0;
+};
+
+/**
+ * The mutant: the real issueStage ends its IQ bookkeeping with
+ * noteIqWake(now + 1) so the wheel re-examines the queue; this copy
+ * "refactored" the hook away.
+ */
+void
+MiniCore::issueStage(Cycle now)
+{
+    issuedThisCycle = 0;
+    while (iqOccupancy > 0 && issuedThisCycle < 4) {
+        iqOccupancy -= 1; // expect: wake-soundness
+        issuedThisCycle += 1;
+    }
+    iqWakeAt = now + 1; // expect: wake-soundness
+}
+
+/** Calling a wake_state function passes the obligation to us. */
+void
+MiniCore::reclaim(Cycle now)
+{
+    killEntry(0, now); // expect: wake-soundness
+}
+
+/** Non-const call on a wake-state field is a mutation too. */
+void
+MiniCore::scheduleRaw(Event ev)
+{
+    events.push(ev); // expect: wake-soundness
+}
+
+} // namespace fixture

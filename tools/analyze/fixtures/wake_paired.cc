@@ -1,0 +1,70 @@
+/**
+ * @file
+ * NEGATIVE wake-soundness fixtures: every mutation here is paired
+ * with a hook, carried by an annotation, or explicitly waived. The
+ * analyzer must stay silent on this file.
+ */
+
+#include "fixture_world.hh"
+
+namespace fixture
+{
+
+class PairedCore
+{
+  public:
+    LOOPSIM_WAKE_HOOK void noteIqWake(Cycle c);
+    LOOPSIM_WAKE_HOOK void wakeReg(unsigned reg, Cycle at);
+    LOOPSIM_WAKE_STATE void killEntry(unsigned slot, Cycle now);
+
+    void issueStage(Cycle now);
+    void drive(Cycle now);
+    void teardown();
+    unsigned occupancy() const;
+
+  private:
+    LOOPSIM_WAKE_STATE Cycle iqWakeAt = 0;
+    LOOPSIM_WAKE_STATE unsigned iqOccupancy = 0;
+};
+
+/** The healthy issue stage: mutation paired with the hook. */
+void
+PairedCore::issueStage(Cycle now)
+{
+    iqWakeAt = now + 1;
+    noteIqWake(now + 1);
+}
+
+/** The wake_state body itself is exempt — callers carry the duty. */
+LOOPSIM_WAKE_STATE void
+PairedCore::killEntry(unsigned slot, Cycle now)
+{
+    (void)slot;
+    (void)now;
+    iqOccupancy -= 1;
+}
+
+/** A wake_state call discharged by a hook in the same function. */
+void
+PairedCore::drive(Cycle now)
+{
+    killEntry(0, now);
+    wakeReg(3, now + 2);
+}
+
+/** A reviewed waiver keeps cold paths out of the report. */
+void
+PairedCore::teardown()
+{
+    // loop:exempt(analyze: teardown, queue is rebuilt before reuse)
+    iqOccupancy = 0;
+}
+
+/** Reads are never mutations. */
+unsigned
+PairedCore::occupancy() const
+{
+    return iqOccupancy;
+}
+
+} // namespace fixture

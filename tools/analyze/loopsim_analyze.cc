@@ -1,0 +1,263 @@
+/**
+ * @file
+ * loopsim-analyze: Clang LibTooling driver for the four loopsim AST
+ * checks (checks.cc, DESIGN.md §15).
+ *
+ * Runs over compile_commands.json like clang-tidy:
+ *
+ *   loopsim-analyze -p build src/core/core.cc src/core/core_backend.cc
+ *   loopsim-analyze --all-paths fixture.cc -- -std=c++20 -Isrc
+ *
+ * Findings print as `file:line: [check] message` — the same shape as
+ * tools/loop_lint.py — and are deduplicated across translation units
+ * (a header finding appears once, not once per includer). --sarif
+ * additionally writes a SARIF 2.1.0 report for CI upload.
+ *
+ * Exit status: 0 clean, 1 findings, 2 tool/parse errors.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <clang/AST/ASTConsumer.h>
+#include <clang/AST/ASTContext.h>
+#include <clang/Frontend/CompilerInstance.h>
+#include <clang/Frontend/FrontendAction.h>
+#include <clang/Tooling/ArgumentsAdjusters.h>
+#include <clang/Tooling/CommonOptionsParser.h>
+#include <clang/Tooling/Tooling.h>
+#include <llvm/Support/CommandLine.h>
+#include <llvm/Support/FileSystem.h>
+#include <llvm/Support/JSON.h>
+#include <llvm/Support/raw_ostream.h>
+
+#include "analyze_context.hh"
+
+namespace cl = llvm::cl;
+using namespace loopsim_analyze;
+
+namespace
+{
+
+cl::OptionCategory analyzeCategory("loopsim-analyze options");
+
+cl::opt<std::string> sarifPath(
+    "sarif",
+    cl::desc("Write a SARIF 2.1.0 report to this path"),
+    cl::value_desc("path"), cl::cat(analyzeCategory));
+
+cl::opt<bool> allPaths(
+    "all-paths",
+    cl::desc("Scope every check to all non-system files (fixtures); "
+             "by default checks are scoped to the src/ tree"),
+    cl::cat(analyzeCategory));
+
+cl::list<std::string> onlyChecks(
+    "check", cl::CommaSeparated,
+    cl::desc("Run only the named checks (wake-soundness, "
+             "feedback-bypass, determinism, campaign-statics)"),
+    cl::value_desc("name[,name...]"), cl::cat(analyzeCategory));
+
+struct CheckDoc
+{
+    const char *id;
+    const char *description;
+};
+
+constexpr CheckDoc checkCatalog[] = {
+    {"wake-soundness",
+     "wake-state mutations must be paired with a wake-hook call"},
+    {"feedback-bypass",
+     "feedback signals and events must travel through FeedbackPort"},
+    {"determinism",
+     "no order-observable unordered iteration or wall-clock/rand in "
+     "simulation code"},
+    {"campaign-statics",
+     "no mutable unguarded static state under the parallel campaign "
+     "executor"},
+};
+
+class AnalyzeConsumer : public clang::ASTConsumer
+{
+  public:
+    explicit AnalyzeConsumer(AnalyzeContext &ctx) : ctx(ctx) {}
+
+    void
+    HandleTranslationUnit(clang::ASTContext &ast) override
+    {
+        runChecks(ast, ctx);
+    }
+
+  private:
+    AnalyzeContext &ctx;
+};
+
+class AnalyzeAction : public clang::ASTFrontendAction
+{
+  public:
+    explicit AnalyzeAction(AnalyzeContext &ctx) : ctx(ctx) {}
+
+    std::unique_ptr<clang::ASTConsumer>
+    CreateASTConsumer(clang::CompilerInstance &,
+                      llvm::StringRef) override
+    {
+        return std::make_unique<AnalyzeConsumer>(ctx);
+    }
+
+  private:
+    AnalyzeContext &ctx;
+};
+
+class AnalyzeActionFactory : public clang::tooling::FrontendActionFactory
+{
+  public:
+    explicit AnalyzeActionFactory(AnalyzeContext &ctx) : ctx(ctx) {}
+
+    std::unique_ptr<clang::FrontendAction>
+    create() override
+    {
+        return std::make_unique<AnalyzeAction>(ctx);
+    }
+
+  private:
+    AnalyzeContext &ctx;
+};
+
+llvm::json::Object
+sarifReport(const std::set<Finding> &findings)
+{
+    llvm::json::Array rules;
+    for (const CheckDoc &doc : checkCatalog)
+        rules.push_back(llvm::json::Object{
+            {"id", doc.id},
+            {"shortDescription",
+             llvm::json::Object{{"text", doc.description}}},
+        });
+
+    llvm::json::Array results;
+    for (const Finding &f : findings)
+        results.push_back(llvm::json::Object{
+            {"ruleId", f.check},
+            {"level", "error"},
+            {"message", llvm::json::Object{{"text", f.message}}},
+            {"locations",
+             llvm::json::Array{llvm::json::Object{
+                 {"physicalLocation",
+                  llvm::json::Object{
+                      {"artifactLocation",
+                       llvm::json::Object{{"uri", f.file}}},
+                      {"region",
+                       llvm::json::Object{
+                           {"startLine",
+                            static_cast<int64_t>(f.line)}}},
+                  }},
+             }}},
+        });
+
+    return llvm::json::Object{
+        {"$schema",
+         "https://json.schemastore.org/sarif-2.1.0.json"},
+        {"version", "2.1.0"},
+        {"runs",
+         llvm::json::Array{llvm::json::Object{
+             {"tool",
+              llvm::json::Object{
+                  {"driver",
+                   llvm::json::Object{
+                       {"name", "loopsim-analyze"},
+                       {"informationUri",
+                        "https://example.invalid/loopsim/DESIGN.md"},
+                       {"rules", std::move(rules)},
+                   }},
+              }},
+             {"results", std::move(results)},
+         }}},
+    };
+}
+
+bool
+writeSarif(const std::set<Finding> &findings, const std::string &path)
+{
+    std::error_code ec;
+    llvm::raw_fd_ostream out(path, ec, llvm::sys::fs::OF_Text);
+    if (ec) {
+        llvm::errs() << "loopsim-analyze: cannot write SARIF to "
+                     << path << ": " << ec.message() << "\n";
+        return false;
+    }
+    out << llvm::json::Value(sarifReport(findings)) << "\n";
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, const char **argv)
+{
+    auto parser = clang::tooling::CommonOptionsParser::create(
+        argc, argv, analyzeCategory);
+    if (!parser) {
+        llvm::errs() << llvm::toString(parser.takeError()) << "\n";
+        return 2;
+    }
+
+    Options opts;
+    opts.allPaths = allPaths;
+    for (const std::string &name : onlyChecks) {
+        bool known = false;
+        for (const CheckDoc &doc : checkCatalog)
+            known = known || name == doc.id;
+        if (!known) {
+            llvm::errs() << "loopsim-analyze: unknown check '" << name
+                         << "'\n";
+            return 2;
+        }
+        opts.onlyChecks.insert(name);
+    }
+    AnalyzeContext ctx(std::move(opts));
+
+    clang::tooling::ClangTool tool(parser->getCompilations(),
+                                   parser->getSourcePathList());
+    // The compile database records the project compiler's warning
+    // flags; compiler diagnostics are clang-tidy's and the build's
+    // business, not ours.
+    tool.appendArgumentsAdjuster(
+        clang::tooling::getInsertArgumentAdjuster(
+            "-Wno-everything",
+            clang::tooling::ArgumentInsertPosition::END));
+#ifdef LOOPSIM_CLANG_RESOURCE_DIR
+    // Baked in by CMake from `clang -print-resource-dir` so builtin
+    // headers resolve no matter which compiler wrote the compile
+    // database.
+    if (llvm::sys::fs::is_directory(LOOPSIM_CLANG_RESOURCE_DIR))
+        tool.appendArgumentsAdjuster(
+            clang::tooling::getInsertArgumentAdjuster(
+                "-resource-dir=" LOOPSIM_CLANG_RESOURCE_DIR,
+                clang::tooling::ArgumentInsertPosition::END));
+#endif
+
+    AnalyzeActionFactory factory(ctx);
+    int status = tool.run(&factory);
+    if (status != 0) {
+        llvm::errs() << "loopsim-analyze: parse errors; findings "
+                        "below may be incomplete\n";
+    }
+
+    for (const Finding &f : ctx.results())
+        llvm::outs() << f.file << ":" << f.line << ": [" << f.check
+                     << "] " << f.message << "\n";
+
+    if (!sarifPath.empty() && !writeSarif(ctx.results(), sarifPath))
+        return 2;
+
+    if (status != 0)
+        return 2;
+    if (!ctx.results().empty()) {
+        llvm::errs() << "loopsim-analyze: " << ctx.results().size()
+                     << " finding(s)\n";
+        return 1;
+    }
+    llvm::outs() << "loopsim-analyze: clean\n";
+    return 0;
+}

@@ -1,6 +1,6 @@
 // Fixture: patterns that hit the lint regexes but carry a
-// `loop:exempt(<reason>)` annotation — --self-test fails if any of
-// these are flagged.
+// `loop:exempt` annotation with a reason — --self-test fails if any
+// of these are flagged.
 
 #include <chrono>
 #include <iostream>

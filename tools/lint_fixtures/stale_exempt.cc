@@ -1,0 +1,21 @@
+// Fixture: a `loop:exempt(...)` waiver whose line no longer trips
+// any rule — `--check-stale-exempts` must flag exactly this one.
+// The analyze:-prefixed waiver below targets the AST checks in
+// tools/analyze and must NOT be reported as stale here.
+
+namespace loopsim_fixture
+{
+
+int stalePattern()
+{
+    // loop:exempt(the printf this waived was deleted in a refactor)
+    return 42;
+}
+
+int analyzerWaiver()
+{
+    // loop:exempt(analyze: wake obligation carried by the caller)
+    return 7;
+}
+
+} // namespace loopsim_fixture

@@ -35,7 +35,21 @@ A finding is waived by annotating the offending line (or the line
 directly above it) with `// loop:exempt(<reason>)`. The reason is
 mandatory; the annotation is the reviewable record of why the pattern
 is legitimate (e.g. wall-clock telemetry that never feeds simulated
-time).
+time). Reasons prefixed `analyze:` target the loopsim-analyze AST
+checks (tools/analyze, DESIGN.md §15) rather than these regexes, and
+are ignored by --check-stale-exempts.
+
+When the loopsim-analyze binary is built (it needs the Clang dev
+package), the feedback-bypass and determinism regexes are superseded
+by its AST versions, which see through typedefs, helper functions and
+`using clock = ...` aliases; run with --analyzer-available to retire
+them and keep only the rules the analyzer does not cover. The full
+regex set remains the documented fallback for LLVM-less builds.
+
+--check-stale-exempts flags `loop:exempt(...)` annotations whose line
+(or the line below, the two places a waiver can cover) no longer
+triggers any regex rule: a waiver that outlives its hazard is a
+misleading review record and must be deleted.
 
 Exit status: 0 when clean, 1 when findings were printed, 2 on usage
 errors. Run with --self-test to check the linter against the fixture
@@ -51,6 +65,12 @@ from pathlib import Path
 SOURCE_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp"}
 
 EXEMPT_RE = re.compile(r"//\s*loop:exempt\([^)]+\)")
+EXEMPT_REASON_RE = re.compile(r"//\s*loop:exempt\(([^)]+)\)")
+
+ALL_RULES = frozenset({"feedback-bypass", "determinism", "bare-output"})
+# Rules with AST successors in loopsim-analyze (tools/analyze); the
+# regex versions retire when the analyzer is available.
+SUPERSEDED_BY_ANALYZER = frozenset({"feedback-bypass", "determinism"})
 
 # --- feedback-bypass -------------------------------------------------
 FEEDBACK_EVENT_RE = re.compile(
@@ -120,13 +140,17 @@ def rel_posix(path, root):
     return path.relative_to(root).as_posix()
 
 
-def lint_file(path, display, findings):
+def lint_file(path, display, findings, rules=ALL_RULES,
+              honor_exempts=True):
     try:
         raw_lines = path.read_text(errors="replace").splitlines()
     except OSError as err:
         findings.append(Finding(display, 0, "io", str(err)))
         return
     code_lines = [strip_line_comment(line) for line in raw_lines]
+
+    def waived(i):
+        return honor_exempts and is_exempt(raw_lines, i)
 
     in_feedback_dir = any(f"/{d}/" in f"/{display}" or
                           display.startswith(f"{d}/")
@@ -138,9 +162,9 @@ def lint_file(path, display, findings):
         return any(abs(i - j) <= PORT_PROXIMITY for j in port_lines)
 
     for i, line in enumerate(code_lines):
-        if in_feedback_dir:
+        if in_feedback_dir and "feedback-bypass" in rules:
             m = FEEDBACK_EVENT_RE.search(line)
-            if m and not port_nearby(i) and not is_exempt(raw_lines, i):
+            if m and not port_nearby(i) and not waived(i):
                 findings.append(Finding(
                     display, i + 1, "feedback-bypass",
                     f"feedback event EventType::{m.group(1)} with no "
@@ -148,26 +172,29 @@ def lint_file(path, display, findings):
                     f"{PORT_PROXIMITY} lines: the signal bypasses the "
                     f"stamped port"))
             m = SIGNAL_STRUCT_RE.search(line)
-            if m and not port_nearby(i) and not is_exempt(raw_lines, i):
+            if m and not port_nearby(i) and not waived(i):
                 findings.append(Finding(
                     display, i + 1, "feedback-bypass",
                     f"signal struct {m.group(1)} constructed outside a "
                     f"FeedbackPort send()/read(): feedback payloads "
                     f"travel only through ports"))
 
-        if display not in DETERMINISM_ALLOWED:
+        if display not in DETERMINISM_ALLOWED and \
+                "determinism" in rules:
             for pattern, name in DETERMINISM_RES:
-                if pattern.search(line) and not is_exempt(raw_lines, i):
+                if pattern.search(line) and not waived(i):
                     findings.append(Finding(
                         display, i + 1, "determinism",
                         f"{name} in simulation code: runs must be "
                         f"reproducible from their seeds (use the "
                         f"seeded base/random PCG)"))
 
+        if "bare-output" not in rules:
+            continue
         for pattern, name, allowed in OUTPUT_RES:
             if display in allowed:
                 continue
-            if pattern.search(line) and not is_exempt(raw_lines, i):
+            if pattern.search(line) and not waived(i):
                 findings.append(Finding(
                     display, i + 1, "bare-output",
                     f"{name} outside its sanctioned files: route "
@@ -175,13 +202,50 @@ def lint_file(path, display, findings):
                     f"or an ostream parameter"))
 
 
-def lint_tree(root):
+def lint_tree(root, rules=ALL_RULES, honor_exempts=True):
     findings = []
     files = sorted(p for p in root.rglob("*")
                    if p.suffix in SOURCE_SUFFIXES and p.is_file())
     for path in files:
-        lint_file(path, rel_posix(path, root), findings)
+        lint_file(path, rel_posix(path, root), findings, rules,
+                  honor_exempts)
     return findings
+
+
+def stale_exempts(root):
+    """Exempt annotations whose line (or the line below) no longer
+    trips any regex rule. `analyze:`-prefixed reasons are waivers for
+    the AST checks in tools/analyze and are skipped here."""
+    findings = lint_tree(root, honor_exempts=False)
+    live = {}
+    for f in findings:
+        live.setdefault(f.path, set()).add(f.line)
+    stale = []
+    files = sorted(p for p in root.rglob("*")
+                   if p.suffix in SOURCE_SUFFIXES and p.is_file())
+    for path in files:
+        display = rel_posix(path, root)
+        try:
+            raw_lines = path.read_text(errors="replace").splitlines()
+        except OSError:
+            continue
+        covered = live.get(display, set())
+        for i, line in enumerate(raw_lines):
+            m = EXEMPT_REASON_RE.search(line)
+            if not m:
+                continue
+            if m.group(1).strip().startswith("analyze:"):
+                continue
+            # A waiver covers its own line and the line below it.
+            if (i + 1) in covered or (i + 2) in covered:
+                continue
+            stale.append(Finding(
+                display, i + 1, "stale-exempt",
+                f"loop:exempt({m.group(1).strip()}) no longer "
+                f"matches any rule here: delete the waiver or prefix "
+                f"the reason with `analyze:` if it targets the AST "
+                f"checks"))
+    return stale
 
 
 def self_test(fixture_root):
@@ -208,6 +272,26 @@ def self_test(fixture_root):
     for f in flagged_clean:
         failures.append(f"clean/exempted fixture flagged: {f}")
 
+    # --analyzer-available retires the superseded rules and nothing
+    # else: only the bare-output findings must remain.
+    reduced = lint_tree(fixture_root,
+                        rules=ALL_RULES - SUPERSEDED_BY_ANALYZER)
+    leftover = {f.rule for f in reduced}
+    if leftover != {"bare-output"}:
+        failures.append(
+            f"--analyzer-available mode kept rules {sorted(leftover)},"
+            f" expected only bare-output")
+
+    # Stale-waiver detection: the deliberate stale fixture must be
+    # the one and only report — live waivers and analyze:-prefixed
+    # waivers stay silent.
+    stale = stale_exempts(fixture_root)
+    stale_names = sorted(Path(f.path).name for f in stale)
+    if stale_names != ["stale_exempt.cc"]:
+        failures.append(
+            f"stale-exempt check reported {stale_names}, expected "
+            f"exactly ['stale_exempt.cc']")
+
     if failures:
         for line in failures:
             print(f"self-test FAILED: {line}", file=sys.stderr)
@@ -228,6 +312,16 @@ def main(argv):
     parser.add_argument(
         "--self-test", action="store_true",
         help="scan tools/lint_fixtures and verify expected findings")
+    parser.add_argument(
+        "--analyzer-available", action="store_true",
+        help="retire the regex rules superseded by loopsim-analyze "
+             "(feedback-bypass, determinism); use when the AST "
+             "checks run in the same pipeline")
+    parser.add_argument(
+        "--check-stale-exempts", action="store_true",
+        help="flag loop:exempt(...) waivers whose line no longer "
+             "trips any regex rule (analyze:-prefixed reasons are "
+             "the AST checks' waivers and are skipped)")
     args = parser.parse_args(argv)
 
     script_dir = Path(__file__).resolve().parent
@@ -238,7 +332,22 @@ def main(argv):
     if not root.is_dir():
         print(f"loop_lint: no such tree: {root}", file=sys.stderr)
         return 2
-    findings = lint_tree(root.resolve())
+
+    if args.check_stale_exempts:
+        stale = stale_exempts(root.resolve())
+        for f in stale:
+            print(f)
+        if stale:
+            print(f"loop_lint: {len(stale)} stale waiver(s) in "
+                  f"{root}", file=sys.stderr)
+            return 1
+        print(f"loop_lint: no stale waivers ({root})")
+        return 0
+
+    rules = ALL_RULES
+    if args.analyzer_available:
+        rules = ALL_RULES - SUPERSEDED_BY_ANALYZER
+    findings = lint_tree(root.resolve(), rules)
     for f in findings:
         print(f)
     if findings:
