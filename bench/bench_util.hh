@@ -327,6 +327,7 @@ class CampaignRecorder
         entry << "  {\"bench\": \"" << name << "\""
               << ", \"ops\": " << totalOps
               << ", \"jobs\": " << t.jobs
+              << ", \"host_cpus\": " << t.hostCpus
               << ", \"runs\": " << t.runs
               << ", \"failures\": " << t.failures
               << ", \"simulated\": " << t.simulated
@@ -378,6 +379,7 @@ class CampaignRecorder
                 entry << (i ? ", " : "") << "{\"component\": \""
                       << p.name << "\", \"ticks\": " << p.ticks
                       << ", \"measured_ticks\": " << p.measuredTicks
+                      << ", \"scan_ticks\": " << p.scanTicks
                       << ", \"seconds\": " << p.seconds << "}";
             }
             entry << "]";

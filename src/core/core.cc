@@ -42,6 +42,10 @@ Core::Core(const Config &config, std::vector<TraceSource *> sources)
             static_cast<unsigned>(config.getUint("branch.btb.ways", 4)));
     }
 
+    // Sized here, not only in prepareKernel(): a bare core outside
+    // any Simulator defaults to the sparse code paths.
+    clusterReady.resize(cfg.numClusters);
+
     threads.resize(sources.size());
     for (std::size_t t = 0; t < sources.size(); ++t) {
         panic_if(!sources[t], "null trace source");
@@ -393,17 +397,50 @@ Core::processEvents(Cycle now)
                 }
             }
             inst.waitingRecovery = false;
+            // The recovery wait kept this entry out of the ready
+            // tracking (recheck and wake pops drop waitingRecovery
+            // refs); now that the wait ended, re-enter it. Payload
+            // operands are ungated, so with the other gate known the
+            // entry can issue this very cycle — the issue pass runs
+            // after this drain.
+            if (sparseKernel && inst.state == InstState::InIq &&
+                inst.insertCycle != invalidCycle) {
+                const Cycle r0 = wakeupGateCycle(prf, inst, 0);
+                const Cycle r1 = wakeupGateCycle(prf, inst, 1);
+                if (r0 != invalidCycle && r1 != invalidCycle) {
+                    armWakeTimer(std::max({r0, r1,
+                                           inst.insertCycle + 1}),
+                                 ev.ref);
+                }
+            }
             break;
           }
           default:
             panic("unknown event type");
         }
+
+        // Feedback deliveries are the only mutations that can take a
+        // Done entry's pending-event count to zero — the last gate on
+        // its confirm-free. The reference scan picks the free up on
+        // its (blanket-noted) next cycle; arm the confirm timer so the
+        // incremental path frees it at the same cycle.
+        if (sparseKernel && ev.type != EventType::Writeback &&
+            ev.type != EventType::ExecStart && pool.live(ev.ref)) {
+            const DynInst &inst = pool.get(ev.ref);
+            if (inst.state == InstState::Done && inst.iqSlot != 0xffff &&
+                inst.pendingEvents == 0 &&
+                inst.confirmCycle != invalidCycle) {
+                armConfirmTimer(std::max(inst.confirmCycle, now),
+                                ev.ref);
+            }
+        }
     }
 }
 
 void
-Core::killInstruction(DynInst &inst)
+Core::killInstruction(InstRef ref)
 {
+    DynInst &inst = pool.get(ref);
     panic_if(inst.state != InstState::Issued &&
                  inst.state != InstState::Done,
              "killing an instruction that is not issued");
@@ -436,6 +473,11 @@ Core::killInstruction(DynInst &inst)
         prf.clearActualReady(inst.physDest);
     }
     *loadKilledOps += 1;
+    // Back in InIq, the victim may reissue in this very cycle (its
+    // own source gates are untouched by the kill); put it back in
+    // front of the next issue pass.
+    if (sparseKernel)
+        queueReadyRecheck(ref);
 }
 
 void
@@ -456,12 +498,12 @@ Core::killDependencyTree(InstRef root, Cycle now)
         for (const InstRef &c : consumers) {
             if (!pool.live(c))
                 continue;
-            DynInst &ci = pool.get(c);
+            const DynInst &ci = pool.get(c);
             if (ci.state != InstState::Issued &&
                 ci.state != InstState::Done) {
                 continue; // not issued: it simply waits
             }
-            killInstruction(ci);
+            killInstruction(c);
             work.push_back(c);
         }
     }
@@ -474,7 +516,7 @@ Core::killLoadShadow(const DynInst &load, Cycle now)
     // 21264-style recovery: every instruction of the thread issued in
     // the load shadow is killed, in the dependency tree or not.
     for (InstRef ref : iq.occupants()) {
-        DynInst &inst = pool.get(ref);
+        const DynInst &inst = pool.get(ref);
         if (inst.op.tid != load.op.tid)
             continue;
         if (inst.state != InstState::Issued &&
@@ -487,7 +529,7 @@ Core::killLoadShadow(const DynInst &load, Cycle now)
             inst.issueCycle <= load.issueCycle) {
             continue; // issued before the shadow opened
         }
-        killInstruction(inst);
+        killInstruction(ref);
     }
     (void)now;
 }

@@ -16,6 +16,9 @@
 #ifndef LOOPSIM_CORE_CORE_HH
 #define LOOPSIM_CORE_CORE_HH
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <deque>
 #include <set>
 #include <memory>
@@ -107,14 +110,18 @@ class Core : public Clocked, public IntegrityProbe
      */
     Cycle nextActivity(Cycle now) const override;
     std::string name() const override { return "core"; }
-    /** Under the dense reference kernel the issue-stage gate and the
-     *  post-tick wake computation are switched off entirely, keeping
-     *  the baseline a pure tick-every-cycle machine. */
-    void
-    prepareKernel(KernelMode mode) override
-    {
-        sparseKernel = mode == KernelMode::Sparse;
-    }
+    /** Under the dense reference kernel the issue-stage gate, the
+     *  post-tick wake computation and the incremental ready tracking
+     *  are switched off entirely, keeping the baseline a pure
+     *  tick-every-cycle machine. Under the sparse kernel the ready
+     *  structures are rebuilt from the current IQ contents — run() may
+     *  be called repeatedly on a warm core (warmup loops), so the
+     *  rebuild is idempotent. Defined in core_wake.cc. */
+    void prepareKernel(KernelMode mode) override;
+
+    /** Ticks whose issue stage ran the reference O(IQ) fused scan
+     *  (every dense tick; zero under the incremental sparse path). */
+    std::uint64_t fullScanTicks() const override { return scanTicks; }
 
     /** @name Results */
     /// @{
@@ -307,12 +314,105 @@ class Core : public Clocked, public IntegrityProbe
     }
 
     /** setIssueReady plus the issue-stage wake note: every scoreboard
-     *  wakeup is a potential issue at @p at. */
+     *  wakeup is a potential issue at @p at. Under the sparse kernel
+     *  it also walks the producer's consumer list and arms wake
+     *  timers for entries whose gate cycles just became fully known
+     *  (the incremental ready tracking's only entry point for
+     *  "producer scheduled after the consumer was inserted"). */
     LOOPSIM_WAKE_HOOK void
     wakeReg(PhysReg reg, Cycle at)
     {
         prf.setIssueReady(reg, at);
         noteIqWake(at);
+        if (sparseKernel)
+            armWokenConsumers(reg);
+    }
+
+    /** @name Incremental per-cluster ready tracking (sparse kernel)
+     *
+     * The sparse issue stage never rescans the IQ; instead every
+     * mutation that can advance an entry's eligibility arms one of
+     * these structures (DESIGN.md §14):
+     *
+     *  - wakeTimer: calendar ring of (cycle, ref) — "this InIq
+     *    entry's gates may all be satisfied at `cycle`". Drained
+     *    entries join clusterReady.
+     *  - clusterReady: per-cluster map keyed by fetchStamp — the
+     *    oldest-first candidate sets the select loop arbitrates over.
+     *    Entries are re-validated against the full reference
+     *    predicate at every evaluation, so stale refs are erased, not
+     *    trusted.
+     *  - confirmTimer: calendar ring of (cycle, ref) — "this
+     *    Issued/Done entry may confirm-free at `cycle`".
+     *  - readyRecheck: kill victims reverted to InIq this cycle; the
+     *    next issue pass re-inserts them (reissue can happen in the
+     *    kill cycle, like the dense scan would).
+     *
+     * The arm helpers self-note iqWakeAt, so "every pending timer key
+     * is >= iqWakeAt" is a local invariant and the issue-stage gate
+     * can never sleep through an armed cycle.
+     */
+    /// @{
+    LOOPSIM_WAKE_HOOK void
+    armWakeTimer(Cycle at, InstRef ref)
+    {
+        wakeTimer.push(at, ref);
+        noteIqWake(at);
+    }
+
+    LOOPSIM_WAKE_HOOK void
+    armConfirmTimer(Cycle at, InstRef ref)
+    {
+        confirmTimer.push(at, ref);
+        noteIqWake(at);
+    }
+
+    /** Queue a kill victim for re-evaluation at the next issue pass.
+     *  The note's cycle 0 only means "the gate must not skip the next
+     *  tick" — the pass itself recomputes the exact wake. */
+    LOOPSIM_WAKE_HOOK void
+    queueReadyRecheck(InstRef ref)
+    {
+        readyRecheck.push_back(ref);
+        noteIqWake(0);
+    }
+
+    /** Arm wake timers for @p reg's producer's consumers (see
+     *  wakeReg). Defined in core_wake.cc. */
+    LOOPSIM_WAKE_HOOK void armWokenConsumers(PhysReg reg);
+
+    /** Sorted-insert @p ref into its cluster's candidate set; a
+     *  duplicate stamp is a no-op. Membership alone never issues
+     *  anything — candidates are re-validated against the reference
+     *  predicate every pass — so inserting early or redundantly is
+     *  safe. */
+    void
+    insertReadyCand(const DynInst &inst, InstRef ref)
+    {
+        auto &cands = clusterReady[inst.cluster];
+        auto it = std::lower_bound(
+            cands.begin(), cands.end(), inst.fetchStamp,
+            [](const ReadyCand &a, std::uint64_t s) {
+                return a.stamp < s;
+            });
+        if (it != cands.end() && it->stamp == inst.fetchStamp)
+            return;
+        cands.insert(it, ReadyCand{inst.fetchStamp, ref});
+    }
+
+    /** True when @p inst is already in its cluster's candidate set
+     *  (arm sites skip the timer then: membership guarantees
+     *  evaluation at every pass the gate lets through). */
+    bool
+    isReadyCand(const DynInst &inst) const
+    {
+        const auto &cands = clusterReady[inst.cluster];
+        auto it = std::lower_bound(
+            cands.begin(), cands.end(), inst.fetchStamp,
+            [](const ReadyCand &a, std::uint64_t s) {
+                return a.stamp < s;
+            });
+        return it != cands.end() && it->stamp == inst.fetchStamp;
     }
     /// @}
 
@@ -379,9 +479,10 @@ class Core : public Clocked, public IntegrityProbe
                            unsigned miss_mask);
 
     /** Revert an issued instruction to waiting state. Reverting to
-     *  InIq re-arms issue eligibility, so callers owe a wake note
+     *  InIq re-arms issue eligibility, so the victim is queued for a
+     *  ready recheck (sparse) and callers owe a wake note
      *  (loopsim::wake_state propagates the obligation to them). */
-    LOOPSIM_WAKE_STATE void killInstruction(DynInst &inst);
+    LOOPSIM_WAKE_STATE void killInstruction(InstRef ref);
     /** Kill the issued dependency tree rooted at @p root (§2.2.2). */
     LOOPSIM_WAKE_STATE void killDependencyTree(InstRef root, Cycle now);
     /** 21264 mode: kill everything issued in the load shadow. */
@@ -404,6 +505,21 @@ class Core : public Clocked, public IntegrityProbe
 
     void buildStats();
     bool backendDrained() const;
+
+    /** @name Issue-stage internals (core_backend.cc) */
+    /// @{
+    /** The reference fused O(IQ) confirm-free + wakeup/select scan:
+     *  the dense kernel's issue stage, and the semantics the sparse
+     *  incremental path must reproduce byte-identically. */
+    void issueScanReference(Cycle now);
+    /** The sparse path: drain timers, re-validate the per-cluster
+     *  ready sets, select. */
+    void issueIncremental(Cycle now);
+    /** Issue one select winner: state/stat bookkeeping, confirm note,
+     *  speculative consumer wakeup, ExecStart scheduling. Shared by
+     *  both paths so event and wakeup order are identical. */
+    LOOPSIM_WAKE_STATE void issueWinner(InstRef ref, Cycle now);
+    /// @}
 
     /** Per-cycle loop-occupancy sampling (see DESIGN.md §11): for each
      *  loop with feedback in flight, how much work sits speculatively
@@ -501,6 +617,175 @@ class Core : public Clocked, public IntegrityProbe
     std::vector<std::uint64_t> scratchWinnerAge;
     std::vector<std::uint8_t> scratchReady;
     /// @}
+
+    /** A timer entry: @p ref may act at cycle @p at. Drain order
+     *  among equal cycles is immaterial because drained refs are
+     *  re-validated (wake) or independent (confirm frees commute). */
+    struct ReadyTimer
+    {
+        Cycle at;
+        InstRef ref;
+        bool operator>(const ReadyTimer &o) const { return at > o.at; }
+    };
+
+    /** A calendar ring of pending (cycle, ref) timers: 64 one-cycle
+     *  buckets over the near horizon plus a min-heap for the rare
+     *  far-future arm (a load wakeup in Stall mode can sit a full
+     *  memory latency out; confirm and ALU wakeups are all within a
+     *  few pipeline latencies). The timers carry roughly one push and
+     *  one pop per issued instruction, which made global-heap
+     *  maintenance the largest single overhead of the sparse issue
+     *  stage; the ring makes both ends O(1).
+     *
+     *  The timing contract is exact, not amortised: drain(now) hands
+     *  over every entry with at <= now and never an entry with
+     *  at > now. The confirm pop rules rely on the second half —
+     *  an early pop would misread a still-pending free as superseded
+     *  and leak the IQ slot. Buckets therefore store the armed cycle
+     *  and flush re-files anything a bucket collision filed early
+     *  (possible only for arms issued from inside a drain callback
+     *  while a >= 64-cycle backlog flushes). */
+    class TimerRing
+    {
+      public:
+        /** Arm @p ref for cycle @p at. A past-due @p at is clamped up
+         *  to the next undrained cycle: it fires at the next drain,
+         *  exactly as a past-due key in a min-heap would. */
+        void
+        push(Cycle at, InstRef ref)
+        {
+            if (at < head)
+                at = head;
+            if (at - head >= size) {
+                overflow.push({at, ref});
+                return;
+            }
+            const unsigned b = static_cast<unsigned>(at) & mask;
+            slots[b].push_back({at, ref});
+            occupied |= std::uint64_t{1} << b;
+        }
+
+        /** Invoke @p f on every ref armed for a cycle <= @p now.
+         *  @p f may push() (a confirm drain can re-arm itself). */
+        template <typename F>
+        void
+        drain(Cycle now, F &&f)
+        {
+            while (!overflow.empty() && overflow.top().at <= now) {
+                const InstRef ref = overflow.top().ref;
+                overflow.pop();
+                f(ref);
+            }
+            if (now < head)
+                return;
+            const Cycle from = head;
+            head = now + 1;
+            if (!occupied)
+                return;
+            if (now - from >= size - 1) {
+                // Every bucket's cycle is due; flush the snapshot
+                // (callback pushes re-set bits for future cycles).
+                std::uint64_t due = occupied;
+                occupied = 0;
+                while (due) {
+                    const unsigned b = static_cast<unsigned>(
+                        std::countr_zero(due));
+                    due &= due - 1;
+                    flush(b, now, f);
+                }
+                return;
+            }
+            for (Cycle c = from; c <= now; ++c) {
+                const unsigned b = static_cast<unsigned>(c) & mask;
+                if (occupied & (std::uint64_t{1} << b)) {
+                    occupied &= ~(std::uint64_t{1} << b);
+                    flush(b, now, f);
+                }
+            }
+        }
+
+        /** Earliest armed cycle (>= the next undrained cycle), or
+         *  invalidCycle when nothing is armed. */
+        Cycle
+        nextDue() const
+        {
+            Cycle best =
+                overflow.empty() ? invalidCycle : overflow.top().at;
+            if (occupied) {
+                const unsigned idx = static_cast<unsigned>(head) & mask;
+                const Cycle ring_due =
+                    head + static_cast<unsigned>(std::countr_zero(
+                               std::rotr(occupied, idx)));
+                best = std::min(best, ring_due);
+            }
+            return best;
+        }
+
+        /** Forget everything; bucket capacity is kept. */
+        void
+        reset()
+        {
+            for (auto &s : slots)
+                s.clear();
+            scratch.clear();
+            occupied = 0;
+            head = 0;
+            overflow = {};
+        }
+
+      private:
+        template <typename F>
+        void
+        flush(unsigned b, Cycle now, F &&f)
+        {
+            scratch.clear();
+            scratch.swap(slots[b]);
+            for (const ReadyTimer &t : scratch) {
+                if (t.at <= now)
+                    f(t.ref);
+                else
+                    push(t.at, t.ref); // filed early by a collision
+            }
+        }
+
+        static constexpr unsigned size = 64;
+        static constexpr unsigned mask = size - 1;
+        std::array<std::vector<ReadyTimer>, size> slots;
+        std::vector<ReadyTimer> scratch;
+        std::uint64_t occupied = 0;
+        Cycle head = 0; ///< everything below has been drained
+        std::priority_queue<ReadyTimer, std::vector<ReadyTimer>,
+                            std::greater<ReadyTimer>>
+            overflow;
+    };
+
+    /** @name Incremental ready tracking (sparse kernel only; empty
+     *  and unread under the dense reference). See the arm helpers
+     *  above and DESIGN.md §14. */
+    /// @{
+    LOOPSIM_WAKE_STATE TimerRing wakeTimer;
+    LOOPSIM_WAKE_STATE TimerRing confirmTimer;
+    /** A select candidate: fetchStamp plus ref. fetchStamps are
+     *  unique and stable across reissue, so the stamp doubles as the
+     *  dedup identity. */
+    struct ReadyCand
+    {
+        std::uint64_t stamp;
+        InstRef ref;
+    };
+    /** Per-cluster select candidates, sorted by fetchStamp so
+     *  iteration is oldest-first (the §2 arbiter order). Flat sorted
+     *  vectors, not maps: the sets are arbiter-sized (a handful of
+     *  entries), evaluation compacts them in place, and the reused
+     *  capacity keeps the hot path allocation-free. */
+    std::vector<std::vector<ReadyCand>> clusterReady;
+    /** Kill victims reverted to InIq since the last issue pass. */
+    std::vector<InstRef> readyRecheck;
+    /// @}
+
+    /** Ticks whose issue stage ran the full O(IQ) reference scan
+     *  (kernel scan-fraction telemetry; see Clocked::fullScanTicks). */
+    std::uint64_t scanTicks = 0;
     LOOPSIM_WAKE_STATE Cycle iqWakeAt = 0;
     /** Set from prepareKernel(): true under the sparse event wheel
      *  (also the construction default, so a bare core outside any

@@ -9,6 +9,10 @@
 #include <cstdlib>
 #include <sstream>
 
+#ifdef LOOPSIM_WAKE_DIAG
+#include <cstdio>
+#endif
+
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "core/core.hh"
@@ -52,15 +56,27 @@ sourceBin(OperandSource src)
 void
 Core::issueStage(Cycle now)
 {
-    // Sparse-kernel gate: iqWakeAt is a conservative lower bound on
-    // the next cycle at which this stage could free or issue anything
-    // (maintained by the scan below and by noteIqWake()/wakeReg()
-    // hooks at every mutation that can advance an entry's readiness).
-    // While it is in the future the scan is provably a no-op, so skip
-    // the whole O(IQ) pass. The dense reference kernel scans every
-    // cycle unconditionally.
-    if (sparseKernel && now < iqWakeAt)
+    // Sparse kernel: iqWakeAt is a conservative lower bound on the
+    // next cycle at which this stage could free or issue anything
+    // (every pending timer key is >= it; see the arm helpers). While
+    // it is in the future the stage is provably a no-op; when it is
+    // due, the incremental path evaluates only the armed candidates.
+    // The dense reference kernel runs the full O(IQ) scan every cycle
+    // unconditionally.
+    if (sparseKernel) {
+        if (now < iqWakeAt)
+            return;
+        iqWakeAt = invalidCycle;
+        issueIncremental(now);
         return;
+    }
+    issueScanReference(now);
+}
+
+void
+Core::issueScanReference(Cycle now)
+{
+    ++scanTicks;
     iqWakeAt = invalidCycle;
 
     // One fused pass over the occupants does both jobs — confirm-free
@@ -184,64 +200,311 @@ Core::issueStage(Cycle now)
     }
 
     for (ClusterId c = 0; c < cfg.numClusters; ++c) {
+        if (scratchWinner[c].valid())
+            issueWinner(scratchWinner[c], now);
+    }
+}
+
+void
+Core::issueWinner(InstRef ref, Cycle now)
+{
+    DynInst &inst = pool.get(ref);
+    inst.state = InstState::Issued;
+    inst.issueCycle = now;
+    if (inst.firstIssueCycle == invalidCycle)
+        inst.firstIssueCycle = now;
+    ++inst.timesIssued;
+    LTRACE(Issue, now, inst.op.toString() << " (issue #"
+           << inst.timesIssued << ")");
+    *issuedOps += 1;
+    if (inst.timesIssued > 1)
+        *reissuedOps += 1;
+    inst.confirmCycle =
+        now + cfg.iqExLatency + cfg.loadFeedback + cfg.iqClearDelay;
+    // 21264-style recovery kills *everything* issued in a load
+    // shadow, so entries must be retained until any load issued up
+    // to a hit-latency earlier has resolved.
+    if (cfg.killAllInShadow)
+        inst.confirmCycle += mem->l1Latency();
+    // The entry sits Done in the IQ until its confirm cycle; a
+    // later kill reverts it to InIq and re-hooks at reissue.
+    noteIqWake(inst.confirmCycle);
+    if (sparseKernel)
+        armConfirmTimer(inst.confirmCycle, ref);
+
+    // Speculative wakeup of consumers. Loads assume an L1 hit; in
+    // Stall mode load consumers wait for the resolved outcome
+    // instead (set in handleLoadExec). Fault injection can delay
+    // the wakeup (consumers issue late but converge) or drop it
+    // outright (consumers never wake: a deliberate wedge the
+    // watchdog must catch).
+    if (inst.op.hasDest()) {
+        bool drop = injector && injector->dropWakeup();
+        Cycle delay = injector ? injector->wakeupDelay() : 0;
+        if (drop) {
+            LTRACE(Issue, now, inst.op.toString()
+                   << " wakeup dropped (fault injection)");
+        } else if (inst.op.isLoad()) {
+            if (cfg.loadRecovery != LoadRecovery::Stall) {
+                wakeReg(inst.physDest,
+                        now + mem->l1Latency() + delay);
+            }
+        } else {
+            wakeReg(inst.physDest,
+                    now + inst.op.execLatency() + delay);
+        }
+    }
+
+    // Plain FU ops execute lazily: their ExecStart only stamps
+    // timestamps and flips the entry Done, so it can drain at
+    // whatever tick comes next (the confirm note above and the
+    // wake computation's retire clause cover the cycles at which
+    // that Done becomes stage-visible). Loads, stores, branches
+    // and DRA executions wake the wheel at the exact cycle.
+    schedule(Event{now + cfg.iqExLatency, EventType::ExecStart, 0,
+                   ref, now, invalidPhysReg, invalidCycle},
+             lazyExecEligible(inst.op));
+}
+
+#ifdef LOOPSIM_WAKE_DIAG
+namespace
+{
+unsigned long long diagIncrCalls, diagIncrEvals, diagIncrIssued,
+    diagIncrHeld, diagIncrConfirmPops, diagIncrWakePops,
+    diagIncrBarren;
+struct IncrDump
+{
+    ~IncrDump()
+    {
+        std::fprintf(stderr,
+                     "INCR_DIAG calls=%llu evals=%llu issued=%llu "
+                     "held=%llu confpops=%llu wakepops=%llu "
+                     "barren=%llu\n",
+                     diagIncrCalls, diagIncrEvals, diagIncrIssued,
+                     diagIncrHeld, diagIncrConfirmPops,
+                     diagIncrWakePops, diagIncrBarren);
+    }
+} incrDump;
+} // namespace
+#endif
+
+void
+Core::issueIncremental(Cycle now)
+{
+#ifdef LOOPSIM_WAKE_DIAG
+    ++diagIncrCalls;
+    const unsigned long long diagWork0 =
+        diagIncrIssued + diagIncrConfirmPops + diagIncrWakePops +
+        diagIncrHeld;
+#endif
+    // The sparse issue stage: same confirm-free + wakeup/select
+    // semantics as issueScanReference(), but over incrementally
+    // maintained candidate sets instead of the whole IQ. Every
+    // candidate is re-validated here against the reference predicate
+    // before it can act, so timers and candidate sets may safely hold
+    // stale refs (killed, squashed, retired, regressed gates) — the
+    // worst a stale entry can cost is a wasted evaluation, never a
+    // wrong issue. What the structures must NOT do is miss a cycle at
+    // which the reference scan would have acted; the arm sites
+    // (DESIGN.md §14 hook catalog) carry that obligation.
+
+    // Kill victims reverted to InIq since the last pass rejoin the
+    // candidate sets first: the reference scan can reissue a killed
+    // instruction in the very cycle of the kill.
+    for (InstRef ref : readyRecheck) {
+        if (!pool.live(ref))
+            continue;
+        const DynInst &inst = pool.get(ref);
+        if (inst.state != InstState::InIq || inst.waitingRecovery)
+            continue;
+        insertReadyCand(inst, ref);
+    }
+    readyRecheck.clear();
+
+    // Confirm-free: drain due timers. Each drained entry either
+    // frees (exactly the reference conditions), drops as superseded
+    // (a reissue armed a later one), or defers to the hook that owns
+    // the next transition (pending events re-arm at their last
+    // decrement, InIq reverts re-enter via readyRecheck).
+    confirmTimer.drain(now, [this, now](InstRef ref) {
+#ifdef LOOPSIM_WAKE_DIAG
+        ++diagIncrConfirmPops;
+#endif
+        if (!pool.live(ref))
+            return; // retired or squashed since arming
+        DynInst &inst = pool.get(ref);
+        if (inst.iqSlot == 0xffff)
+            return; // already freed
+        if (inst.state == InstState::Issued) {
+            // Issued past its confirm cycle: a poisoned execution
+            // whose ExecStart never turned it Done. The reference
+            // scan stays hot on such an entry (re-noting the stale
+            // confirm every cycle) until its kill event lands;
+            // mirror that so the wedge stays equally visible to the
+            // watchdog.
+            if (inst.confirmCycle != invalidCycle &&
+                inst.confirmCycle <= now) {
+                armConfirmTimer(now + 1, ref);
+            }
+            return;
+        }
+        if (inst.state != InstState::Done)
+            return;
+        if (inst.confirmCycle == invalidCycle ||
+            inst.confirmCycle > now) {
+            return; // superseded: a newer timer carries the free
+        }
+        if (inst.pendingEvents != 0)
+            return; // the handler re-arms at the last decrement
+        iq.remove(pool, ref);
+        ThreadState &t = threads[inst.op.tid];
+        panic_if(t.iqCount == 0, "iq count underflow");
+        --t.iqCount;
+    });
+
+    // Wakeup: entries whose gate cycles were all known when armed
+    // join their cluster's candidate set at the armed cycle. The set
+    // keys by fetchStamp, so duplicates collapse and iteration is
+    // oldest-first — the reference arbiter's order.
+    wakeTimer.drain(now, [this](InstRef ref) {
+#ifdef LOOPSIM_WAKE_DIAG
+        ++diagIncrWakePops;
+#endif
+        if (!pool.live(ref))
+            return;
+        const DynInst &inst = pool.get(ref);
+        if (inst.state != InstState::InIq || inst.waitingRecovery)
+            return;
+        insertReadyCand(inst, ref);
+    });
+
+    // Select: re-validate every candidate with the reference
+    // predicate; the first surviving entry per cluster (oldest
+    // fetchStamp) wins its arbiter.
+    scratchWinner.assign(cfg.numClusters, InstRef{});
+    scratchReady.assign(cfg.numClusters, 0);
+
+    for (ClusterId c = 0; c < cfg.numClusters; ++c) {
+        auto &cands = clusterReady[c];
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            const InstRef ref = cands[i].ref;
+            bool keep = false;
+#ifdef LOOPSIM_WAKE_DIAG
+            ++diagIncrEvals;
+#endif
+            do {
+                if (!pool.live(ref))
+                    break;
+                const DynInst &inst = pool.get(ref);
+                if (inst.state != InstState::InIq ||
+                    inst.waitingRecovery) {
+                    // Issued/Done since arming, or back in recovery
+                    // wait: the owning mutation (kill recheck,
+                    // payload delivery) re-enters it when
+                    // eligibility returns.
+                    break;
+                }
+                keep = true;
+                if (inst.insertCycle == invalidCycle)
+                    break; // the reference scan skips these, noteless
+                if (inst.insertCycle >= now) {
+                    // Cannot issue in the insertion cycle.
+                    noteIqWake(inst.insertCycle + 1);
+                    break;
+                }
+                const Cycle r0 = wakeupGateCycle(prf, inst, 0);
+                const Cycle r1 = wakeupGateCycle(prf, inst, 1);
+                if (!((r0 <= now) & (r1 <= now))) {
+                    // Gates regressed since arming (producer killed)
+                    // or the timer fired early: drop the candidate.
+                    // With both gates known the re-arm is immediate;
+                    // an unknown gate re-arms via wakeReg when its
+                    // producer schedules. No memDep clamp here —
+                    // unlike the reference's note, a timer is not
+                    // re-evaluated every cycle, and clamping past the
+                    // store-execution release would sleep through it.
+                    if (r0 != invalidCycle && r1 != invalidCycle)
+                        armWakeTimer(std::max({r0, r1, now + 1}), ref);
+                    keep = false;
+                    break;
+                }
+                // A load whose wait bit is set holds at issue until
+                // every older same-thread store has executed (memory
+                // trap loop). It stays a candidate: held loads are
+                // re-checked at every pass, which (with the
+                // clear-cycle note below) reproduces the reference's
+                // per-cycle shouldWait timing at every cycle where
+                // that call can observably act.
+                if (memDep && inst.op.isLoad()) {
+                    const auto &seqs =
+                        threads[inst.op.tid].unexecStoreSeqs;
+                    if (!seqs.empty() &&
+                        *seqs.begin() <= inst.olderStores &&
+                        memDep->shouldWait(inst.op.pc, now)) {
+                        const Cycle clear = memDep->nextClearAt();
+                        if (clear != invalidCycle)
+                            noteIqWake(std::max(clear, now + 1));
+#ifdef LOOPSIM_WAKE_DIAG
+                        ++diagIncrHeld;
+#endif
+                        break;
+                    }
+                }
+                if (scratchReady[c] < 2)
+                    ++scratchReady[c];
+                if (!scratchWinner[c].valid()) {
+                    // Oldest stamp: the set is sorted.
+                    scratchWinner[c] = ref;
+                }
+            } while (false);
+            if (keep)
+                cands[out++] = cands[i];
+        }
+        cands.resize(out);
+    }
+
+    for (ClusterId c = 0; c < cfg.numClusters; ++c) {
+        if (scratchReady[c] > 1) {
+            // At least one ready entry loses this cluster's arbiter
+            // and stays ready in the IQ.
+            noteIqWake(now + 1);
+            break;
+        }
+    }
+
+    for (ClusterId c = 0; c < cfg.numClusters; ++c) {
         if (!scratchWinner[c].valid())
             continue;
-        DynInst &inst = pool.get(scratchWinner[c]);
-        inst.state = InstState::Issued;
-        inst.issueCycle = now;
-        if (inst.firstIssueCycle == invalidCycle)
-            inst.firstIssueCycle = now;
-        ++inst.timesIssued;
-        LTRACE(Issue, now, inst.op.toString() << " (issue #"
-               << inst.timesIssued << ")");
-        *issuedOps += 1;
-        if (inst.timesIssued > 1)
-            *reissuedOps += 1;
-        inst.confirmCycle =
-            now + cfg.iqExLatency + cfg.loadFeedback + cfg.iqClearDelay;
-        // 21264-style recovery kills *everything* issued in a load
-        // shadow, so entries must be retained until any load issued up
-        // to a hit-latency earlier has resolved.
-        if (cfg.killAllInShadow)
-            inst.confirmCycle += mem->l1Latency();
-        // The entry sits Done in the IQ until its confirm cycle; a
-        // later kill reverts it to InIq and re-hooks at reissue.
-        noteIqWake(inst.confirmCycle);
-
-        // Speculative wakeup of consumers. Loads assume an L1 hit; in
-        // Stall mode load consumers wait for the resolved outcome
-        // instead (set in handleLoadExec). Fault injection can delay
-        // the wakeup (consumers issue late but converge) or drop it
-        // outright (consumers never wake: a deliberate wedge the
-        // watchdog must catch).
-        if (inst.op.hasDest()) {
-            bool drop = injector && injector->dropWakeup();
-            Cycle delay = injector ? injector->wakeupDelay() : 0;
-            if (drop) {
-                LTRACE(Issue, now, inst.op.toString()
-                       << " wakeup dropped (fault injection)");
-            } else if (inst.op.isLoad()) {
-                if (cfg.loadRecovery != LoadRecovery::Stall) {
-                    wakeReg(inst.physDest,
-                            now + mem->l1Latency() + delay);
-                }
-            } else {
-                wakeReg(inst.physDest,
-                        now + inst.op.execLatency() + delay);
-            }
-        }
-
-        // Plain FU ops execute lazily: their ExecStart only stamps
-        // timestamps and flips the entry Done, so it can drain at
-        // whatever tick comes next (the confirm note above and the
-        // wake computation's retire clause cover the cycles at which
-        // that Done becomes stage-visible). Loads, stores, branches
-        // and DRA executions wake the wheel at the exact cycle.
-        schedule(Event{now + cfg.iqExLatency, EventType::ExecStart, 0,
-                       scratchWinner[c], now, invalidPhysReg,
-                       invalidCycle},
-                 lazyExecEligible(inst.op));
+        auto &cands = clusterReady[c];
+        const std::uint64_t stamp =
+            pool.get(scratchWinner[c]).fetchStamp;
+        auto it = std::lower_bound(
+            cands.begin(), cands.end(), stamp,
+            [](const ReadyCand &a, std::uint64_t s) {
+                return a.stamp < s;
+            });
+        if (it != cands.end() && it->stamp == stamp)
+            cands.erase(it);
+#ifdef LOOPSIM_WAKE_DIAG
+        ++diagIncrIssued;
+#endif
+        issueWinner(scratchWinner[c], now);
     }
+
+    // Everything still tracked keeps the gate honest: candidates
+    // were noted above (losers via the contention note, held loads
+    // via their clear cycle, late inserts via insert+1), and the
+    // timer heads arm the next confirm/wake cycles.
+    noteIqWake(confirmTimer.nextDue());
+    noteIqWake(wakeTimer.nextDue());
+#ifdef LOOPSIM_WAKE_DIAG
+    if (diagIncrIssued + diagIncrConfirmPops + diagIncrWakePops +
+            diagIncrHeld ==
+        diagWork0) {
+        ++diagIncrBarren;
+    }
+#endif
 }
 
 OperandSource
@@ -308,7 +571,9 @@ Core::handleOperandMiss(DynInst &inst, InstRef ref, Cycle exec_start,
 
     LTRACE(Dra, exec_start, inst.op.toString()
            << " operand miss, mask " << miss_mask);
-    killInstruction(inst);
+    killInstruction(ref);
+    // waitingRecovery makes the queued recheck drop the faulter; the
+    // PayloadDelivery handler re-arms it when the wait ends.
     inst.waitingRecovery = true;
 
     // The fault is detected one cycle into execution and loops back to

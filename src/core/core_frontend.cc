@@ -319,8 +319,13 @@ Core::insertStage(Cycle now)
         // hook at the producer's issue, exactly as in the scan.
         const Cycle r0 = wakeupGateCycle(prf, inst, 0);
         const Cycle r1 = wakeupGateCycle(prf, inst, 1);
-        if (r0 != invalidCycle && r1 != invalidCycle)
+        if (r0 != invalidCycle && r1 != invalidCycle) {
             noteIqWake(std::max({r0, r1, now + 1}));
+            if (sparseKernel) {
+                armWakeTimer(std::max({r0, r1, now + 1}),
+                             head.ref);
+            }
+        }
         ThreadState &t = threads[head.tid];
         panic_if(t.pipeCount == 0, "pipe count underflow");
         --t.pipeCount;

@@ -27,6 +27,9 @@
  */
 
 #include <algorithm>
+#ifdef LOOPSIM_WAKE_DIAG
+#include <cstdio>
+#endif
 
 #include "core/core.hh"
 
@@ -86,15 +89,51 @@ Core::accountIdleSpan(Cycle now)
     }
 }
 
+#ifdef LOOPSIM_WAKE_DIAG
+namespace
+{
+unsigned long long diagClause[8];
+unsigned long long diagTicks;
+unsigned long long diagGap[8]; // wake-now histogram: 1,2,3,4+,...
+struct DiagDump
+{
+    ~DiagDump()
+    {
+        std::fprintf(stderr, "WAKE_DIAG ticks=%llu clauses:", diagTicks);
+        const char *names[8] = {"event", "iq",     "retire", "insert",
+                                "rename", "fetch", "lazyret", "?"};
+        for (int i = 0; i < 8; ++i)
+            std::fprintf(stderr, " %s=%llu", names[i], diagClause[i]);
+        std::fprintf(stderr, " gaps:");
+        for (int i = 0; i < 8; ++i)
+            std::fprintf(stderr, " %d=%llu", i + 1, diagGap[i]);
+        std::fprintf(stderr, "\n");
+    }
+} diagDump;
+} // namespace
+#endif
+
 void
 Core::computeWake(Cycle now)
 {
     Cycle wake = invalidCycle;
     const Cycle next = now + 1;
+#ifdef LOOPSIM_WAKE_DIAG
+    int winning = 7;
+    int clause = 7;
+    ++diagTicks;
+    auto consider = [&wake, &winning, &clause](Cycle c) {
+        if (c < wake) {
+            wake = c;
+            winning = clause;
+        }
+    };
+#else
     auto consider = [&wake](Cycle c) {
         if (c < wake)
             wake = c;
     };
+#endif
 
     // Pipeline events: the waking queue's head is the earliest due
     // (processEvents pops everything due, so whatever remains is
@@ -102,11 +141,18 @@ Core::computeWake(Cycle now)
     // events have no observable effect until some later tick reads
     // the timestamps they carry (retire eligibility of a lazily
     // executed ALU op is covered by the retire clause below).
-    if (!events.empty())
+    if (!events.empty()) {
+#ifdef LOOPSIM_WAKE_DIAG
+        clause = 0;
+#endif
         consider(std::max(events.top().cycle, next));
+    }
 
     // The issue stage: its own fused scan (or a hook since then)
     // already knows the earliest cycle it could act.
+#ifdef LOOPSIM_WAKE_DIAG
+    clause = 1;
+#endif
     consider(std::max(iqWakeAt, next));
 
     // Retire: a ROB head that has finished and waits only on its
@@ -126,6 +172,9 @@ Core::computeWake(Cycle now)
             lazyExecEligible(inst.op) &&
             inst.issueCycle != invalidCycle &&
             inst.confirmCycle != invalidCycle) {
+#ifdef LOOPSIM_WAKE_DIAG
+            clause = 6;
+#endif
             consider(std::max({inst.confirmCycle,
                                inst.issueCycle + cfg.iqExLatency +
                                    inst.op.execLatency(),
@@ -142,13 +191,20 @@ Core::computeWake(Cycle now)
             inst.produceCycle == invalidCycle) {
             continue;
         }
+#ifdef LOOPSIM_WAKE_DIAG
+        clause = 2;
+#endif
         consider(std::max({inst.confirmCycle, inst.produceCycle, next}));
     }
 
     // Insert: the DEC-IQ pipe delivers its head at insertAt. An IQ-full
     // stall clears only through confirm-free/retire/squash (ticks).
-    if (!renamePipe.empty() && !iq.full())
+    if (!renamePipe.empty() && !iq.full()) {
+#ifdef LOOPSIM_WAKE_DIAG
+        clause = 3;
+#endif
         consider(std::max(renamePipe.front().insertAt, next));
+    }
 
     // Rename: a fetch-buffer head kept out only by time (its own
     // pipeline latency or a recovery stall). Resource-blocked heads
@@ -177,6 +233,9 @@ Core::computeWake(Cycle now)
                     continue;
                 }
             }
+#ifdef LOOPSIM_WAKE_DIAG
+            clause = 4;
+#endif
             consider(std::max({fop.renameReadyAt, renameStallUntil,
                                next}));
         }
@@ -196,9 +255,21 @@ Core::computeWake(Cycle now)
             continue;
         if (t.onWrongPath && !cfg.wrongPathFetch)
             continue;
+#ifdef LOOPSIM_WAKE_DIAG
+        clause = 5;
+#endif
         consider(std::max(t.fetchResumeAt, next));
     }
 
+#ifdef LOOPSIM_WAKE_DIAG
+    ++diagClause[winning];
+    if (wake != invalidCycle) {
+        unsigned long long g = wake - now;
+        if (g > 8)
+            g = 8;
+        ++diagGap[g - 1];
+    }
+#endif
     wakeCycle = wake;
 }
 
@@ -208,6 +279,71 @@ Core::nextActivity(Cycle now) const
     // wakeCycle starts at 0, so a fresh core asks for an immediate
     // tick; afterwards it is always > the cycle that computed it.
     return std::max(wakeCycle, now);
+}
+
+void
+Core::armWokenConsumers(PhysReg reg)
+{
+    // The producer of @p reg just scheduled (or rescheduled) its
+    // wakeup, so each InIq consumer whose *other* gate is also known
+    // now has a computable earliest-issue cycle. Consumers renamed
+    // after this wakeup are not in the list yet; they are armed at
+    // their own insert (both gates are known by then). Consumers
+    // still in recovery wait are re-armed by the payload delivery.
+    const InstRef prod = prf.producer(reg);
+    if (!pool.live(prod))
+        return;
+    for (const InstRef c : pool.get(prod).consumers) {
+        if (!pool.live(c))
+            continue;
+        const DynInst &ci = pool.get(c);
+        if (ci.state != InstState::InIq || ci.waitingRecovery ||
+            ci.insertCycle == invalidCycle) {
+            continue;
+        }
+        if (isReadyCand(ci))
+            continue; // already evaluated every pass
+        const Cycle r0 = wakeupGateCycle(prf, ci, 0);
+        const Cycle r1 = wakeupGateCycle(prf, ci, 1);
+        if (r0 != invalidCycle && r1 != invalidCycle)
+            armWakeTimer(std::max({r0, r1, ci.insertCycle + 1}), c);
+    }
+}
+
+void
+Core::prepareKernel(KernelMode mode)
+{
+    sparseKernel = mode == KernelMode::Sparse;
+
+    // Rebuild the incremental ready tracking from the live IQ
+    // contents. run() calls this before every run segment — warmup
+    // loops re-run a warm core many times — so the rebuild must be a
+    // pure function of current state, never of what a previous
+    // segment had armed. Arming everything at cycle 0 means the first
+    // issue pass re-derives the exact candidate set; early arming is
+    // harmless by construction (candidates are re-validated).
+    wakeTimer.reset();
+    confirmTimer.reset();
+    clusterReady.resize(cfg.numClusters);
+    for (auto &cands : clusterReady)
+        cands.clear();
+    readyRecheck.clear();
+    if (!sparseKernel)
+        return;
+    iqWakeAt = 0;
+    for (const InstRef ref : iq.occupants()) {
+        const DynInst &inst = pool.get(ref);
+        if (inst.state == InstState::InIq) {
+            if (!inst.waitingRecovery)
+                wakeTimer.push(0, ref);
+            continue;
+        }
+        // Issued or Done: the pending confirm (if any) is the entry's
+        // next transition. Entries gated on pending events re-arm at
+        // the last decrement, but arming here too is merely early.
+        if (inst.confirmCycle != invalidCycle)
+            confirmTimer.push(inst.confirmCycle, ref);
+    }
 }
 
 } // namespace loopsim

@@ -27,12 +27,14 @@ namespace loopsim
  * Wakeup-scan source gate: the scoreboard cycle that keeps IQ occupant
  * @p inst from issuing on source @p i, or 0 when that source does not
  * gate issue (absent operand, or already in the IQ payload). Written
- * so both selects compile to conditional moves: the hot wakeup loop in
- * issueStage evaluates both sources of every occupant every cycle, and
+ * so both selects compile to conditional moves: the dense reference
+ * scan evaluates both sources of every occupant every cycle, and
  * mispredicted per-source branches were measurable there. Also the
- * single point the sparse kernel's wake computation (core_wake.cc)
- * derives per-instruction wake cycles from, so the two scans cannot
- * drift apart.
+ * single predicate every sparse-kernel consumer shares — the wake
+ * computation (core_wake.cc), the wake-timer arming at insert and
+ * producer issue, and the incremental issue pass's candidate
+ * re-validation (core_backend.cc) — so the reference scan and the
+ * incremental structures cannot drift apart.
  */
 inline Cycle
 wakeupGateCycle(const PhysRegFile &prf, const DynInst &inst, unsigned i)
@@ -64,7 +66,10 @@ class InstructionQueue
     /** True iff @p ref currently holds a slot. */
     bool contains(const InstPool &pool, InstRef ref) const;
 
-    /** Dense snapshot of current occupants (order is not age). */
+    /** Dense snapshot of current occupants (order is not age). Hot
+     *  only under the dense kernel's reference scan; the sparse
+     *  kernel walks it just to rebuild its ready structures on a
+     *  kernel swap (Core::prepareKernel). */
     const std::vector<InstRef> &occupants() const { return slots; }
 
     void clear() { slots.clear(); }

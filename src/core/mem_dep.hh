@@ -40,10 +40,14 @@ class MemDepPredictor
 
     /**
      * Const peek at the wait bit as it stands *now*, for the sparse
-     * kernel's wake computation: no lazy table clear, no waitCount
-     * bump. A load held by this bit unblocks no earlier than
-     * nextClearAt() (the bit only changes via trainTrap or the clear),
-     * so the issue stage's wake cycle for it is exactly nextClearAt().
+     * kernel: no lazy table clear, no waitCount bump. A load held by
+     * this bit unblocks no earlier than nextClearAt() (the bit only
+     * changes via trainTrap or the clear), so when the incremental
+     * issue pass (core_backend.cc) holds such a load it notes the
+     * issue-stage gate at exactly nextClearAt() — the table clear is a
+     * first-class ready-structure mutation point, exercised by the
+     * KernelDifferential.ReadyTrackingStress reissue-storm test with
+     * clear intervals far below the default.
      */
     bool
     wouldWait(Addr pc) const

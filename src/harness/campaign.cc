@@ -39,6 +39,7 @@ mergeTickProfile(std::vector<ComponentProfile> &into,
                 q.ticks += p.ticks;
                 q.measuredTicks += p.measuredTicks;
                 q.seconds += p.seconds;
+                q.scanTicks += p.scanTicks;
                 merged = true;
                 break;
             }
@@ -235,6 +236,7 @@ void
 CampaignTelemetry::accumulate(const CampaignTelemetry &other)
 {
     jobs = std::max(jobs, other.jobs);
+    hostCpus = std::max(hostCpus, other.hostCpus);
     runs += other.runs;
     failures += other.failures;
     simulated += other.simulated;
@@ -287,6 +289,22 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
         jobs = campaignJobs();
     jobs = static_cast<unsigned>(
         std::min<std::size_t>(jobs, std::max<std::size_t>(plan.size(), 1)));
+
+    // Oversubscription is the usual answer to "why doesn't --jobs N
+    // scale": workers beyond the hardware thread count timeslice one
+    // another, so throughput stays flat while per-worker busy time
+    // still sums past wall clock. Say so once, up front, instead of
+    // leaving the flat curve to look like executor contention.
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+    if (host_cpus > 0 && jobs > host_cpus) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            warn("campaign --jobs ", jobs, " exceeds the ", host_cpus,
+                 " hardware thread", host_cpus == 1 ? "" : "s",
+                 " on this host; extra workers timeslice and add no "
+                 "throughput");
+        }
+    }
 
     // loop:exempt(wall-clock telemetry only; never feeds simulated time)
     auto start = std::chrono::steady_clock::now();
@@ -612,6 +630,7 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
 
     CampaignTelemetry t;
     t.jobs = jobs;
+    t.hostCpus = host_cpus;
     t.runs = plan.size();
     t.simulated = pending.size();
     t.memoHits = memoHits;

@@ -121,6 +121,11 @@ struct WorkerTelemetry
 struct CampaignTelemetry
 {
     unsigned jobs = 1;
+    /** Hardware threads reported by the host at campaign time. Jobs
+     *  beyond this number timeslice rather than run in parallel, so a
+     *  flat jobs→throughput curve with jobs > hostCpus is expected
+     *  behaviour, not executor contention. */
+    unsigned hostCpus = 0;
     std::size_t runs = 0;
     std::size_t failures = 0;
     /** Cells that actually ran the simulator: runs minus every memo

@@ -89,7 +89,8 @@ Simulator::profile() const
                        static_cast<double>(tickMeasured[i]);
         }
         out.push_back({components[i]->name(), tickCounts[i],
-                       tickMeasured[i], seconds});
+                       tickMeasured[i], seconds,
+                       components[i]->fullScanTicks()});
     }
     return out;
 }

@@ -85,6 +85,17 @@ class Clocked
      */
     virtual void prepareKernel(KernelMode mode) { (void)mode; }
 
+    /**
+     * Number of ticks so far in which this component ran a full
+     * (occupancy-proportional) state scan instead of incremental
+     * bookkeeping. The kernel publishes it per component in the tick
+     * profile, where scanTicks/ticks is the scan fraction — the
+     * "how often does sparse degenerate to dense work" metric that
+     * DESIGN.md §14 tracks. Components without such a scan keep the
+     * default of zero.
+     */
+    virtual std::uint64_t fullScanTicks() const { return 0; }
+
     /** Human-readable identity for error messages. */
     virtual std::string name() const { return "clocked"; }
 };
@@ -115,6 +126,9 @@ struct ComponentProfile
      *  measured time scaled by ticks/measuredTicks. */
     std::uint64_t measuredTicks = 0;
     double seconds = 0.0;     ///< estimated host seconds inside tick()
+    /** Ticks that ran a full state scan (Clocked::fullScanTicks());
+     *  scanTicks/ticks is the component's scan fraction. */
+    std::uint64_t scanTicks = 0;
 };
 
 /** The global clock driver. */

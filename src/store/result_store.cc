@@ -200,8 +200,14 @@ ResultMemo::lookup(const Fingerprint &fp)
 void
 ResultMemo::insert(const Fingerprint &fp, const RunResult &result)
 {
+    // Strip-and-copy outside the lock: the cacheable copy duplicates
+    // the whole scalar/distribution payload, and building it under
+    // the mutex made every concurrent lookup wait out a deep copy
+    // (measurable on the --jobs scaling audit; the hold time should
+    // be one hash-map move, nothing more).
+    RunResult stripped = cacheable(result);
     std::lock_guard<std::mutex> lock(mutex);
-    entries.emplace(fp, cacheable(result));
+    entries.emplace(fp, std::move(stripped));
 }
 
 std::size_t

@@ -162,6 +162,45 @@ TEST(KernelDifferential, FaultInjection)
     expectIdentical(dense, sparse, "faulted go");
 }
 
+/** Stress the incremental ready tracking's hardest mutation paths:
+ *  kill-all-in-shadow load recovery makes every miss a reissue storm
+ *  (victims revert to InIq through the readyRecheck path), a tiny
+ *  memDep clear interval flips store-wait bits back and forth under
+ *  the wheel, and a small IQ keeps the confirm/free interleaving
+ *  under constant occupancy pressure. Any timer armed a cycle late,
+ *  or a recheck skipped after a kill, diverges here. */
+TEST(KernelDifferential, ReadyTrackingStress)
+{
+    for (const char *recovery : {"reissue", "refetch"}) {
+        RunSpec spec = specFor(resolveWorkload("swim"));
+        spec.overrides.set("core.load_recovery", recovery);
+        spec.overrides.setBool("core.kill_all_in_shadow", true);
+        spec.overrides.setBool("core.memdep.enable", true);
+        spec.overrides.setUint("core.memdep.clear", 512);
+        spec.overrides.setUint("core.memdep.entries", 64);
+        spec.overrides.setUint("core.iq.entries", 16);
+        RunResult dense = runWith(KernelMode::Dense, spec);
+        RunResult sparse = runWith(KernelMode::Sparse, spec);
+        expectIdentical(dense, sparse,
+                        std::string("stress:") + recovery);
+    }
+
+    // The same storm with recovery kills *and* fault-injected wakeup
+    // and port perturbation on an SMT pair: two threads sharing the
+    // IQ maximises cross-thread confirm/free interleavings.
+    RunSpec spec = specFor(resolveWorkload("go-su2cor"));
+    spec.overrides.setBool("core.kill_all_in_shadow", true);
+    spec.overrides.setBool("core.memdep.enable", true);
+    spec.overrides.setUint("core.memdep.clear", 1024);
+    spec.overrides.setBool("integrity.fault.enable", true);
+    spec.overrides.setUint("integrity.fault.seed", 11);
+    spec.overrides.setDouble("integrity.fault.wakeup_delay", 0.02);
+    spec.overrides.setDouble("integrity.fault.port_stall", 0.02);
+    RunResult dense = runWith(KernelMode::Dense, spec);
+    RunResult sparse = runWith(KernelMode::Sparse, spec);
+    expectIdentical(dense, sparse, "stress:smt-faulted");
+}
+
 /** Per-Simulator override beats the process default. */
 TEST(KernelDifferential, PerInstanceModeOverride)
 {

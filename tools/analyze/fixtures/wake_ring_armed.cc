@@ -1,0 +1,107 @@
+/**
+ * @file
+ * NEGATIVE wake-soundness fixtures for the incremental ready-tracking
+ * mutation surface: the same ring/recheck mutations as
+ * wake_ring_unarmed.cc, but discharged the way the real tree does it
+ * (self-noting LOOPSIM_WAKE_HOOK arm helpers, wake_state drain
+ * bodies, an explicit rebuild waiver). The analyzer must stay silent
+ * on this file.
+ */
+
+#include "fixture_world.hh"
+
+namespace fixture
+{
+
+struct TimerRing
+{
+    void push(Cycle at, unsigned ref);
+    Cycle nextDue() const;
+    void reset();
+};
+
+struct ReadyList
+{
+    void push_back(unsigned ref);
+    void clear();
+};
+
+class ArmedCore
+{
+  public:
+    LOOPSIM_WAKE_HOOK void noteIqWake(Cycle c);
+    LOOPSIM_WAKE_HOOK void armWakeTimer(Cycle at, unsigned ref);
+    LOOPSIM_WAKE_HOOK void queueReadyRecheck(unsigned ref);
+    LOOPSIM_WAKE_STATE void drainConfirm(Cycle now);
+
+    void insertPath(Cycle now, unsigned ref);
+    void killPath(unsigned slot, Cycle now);
+    void issuePass(Cycle now);
+    void rebuildForKernelSwap();
+
+  private:
+    LOOPSIM_WAKE_STATE TimerRing wakeTimer;
+    LOOPSIM_WAKE_STATE TimerRing confirmTimer;
+    LOOPSIM_WAKE_STATE ReadyList readyRecheck;
+    LOOPSIM_WAKE_STATE Cycle iqWakeAt = 0;
+};
+
+/** The hook body is the discharge itself: push + self-note. */
+LOOPSIM_WAKE_HOOK void
+ArmedCore::armWakeTimer(Cycle at, unsigned ref)
+{
+    wakeTimer.push(at, ref);
+    noteIqWake(at);
+}
+
+/** Recheck enqueues self-note cycle 0 ("do not skip the next tick"). */
+LOOPSIM_WAKE_HOOK void
+ArmedCore::queueReadyRecheck(unsigned ref)
+{
+    readyRecheck.push_back(ref);
+    noteIqWake(0);
+}
+
+/** Arming through the hook discharges the caller. */
+void
+ArmedCore::insertPath(Cycle now, unsigned ref)
+{
+    armWakeTimer(now + 1, ref);
+}
+
+/** A kill site routed through the recheck hook. */
+void
+ArmedCore::killPath(unsigned slot, Cycle now)
+{
+    (void)slot;
+    (void)now;
+    queueReadyRecheck(3);
+}
+
+/** The wake_state drain body is exempt — callers carry the duty. */
+LOOPSIM_WAKE_STATE void
+ArmedCore::drainConfirm(Cycle now)
+{
+    (void)now;
+    confirmTimer.reset();
+}
+
+/** A mutation discharged by a hook later in the same function. */
+void
+ArmedCore::issuePass(Cycle now)
+{
+    iqWakeAt = now + 1;
+    noteIqWake(now + 1);
+}
+
+/** prepareKernel()-style rebuild: waived line by line — the rings are
+ *  re-armed from queue contents before the next tick. */
+void
+ArmedCore::rebuildForKernelSwap()
+{
+    wakeTimer.reset();    // loop:exempt(analyze: rebuilt before reuse)
+    confirmTimer.reset(); // loop:exempt(analyze: rebuilt before reuse)
+    readyRecheck.clear(); // loop:exempt(analyze: rebuilt before reuse)
+}
+
+} // namespace fixture

@@ -24,7 +24,9 @@ kernel against the dense reference kernel (DESIGN.md §14): it runs
 the same figure campaign under both kernels (the dense one selected
 via LOOPSIM_DENSE_KERNEL=1), asserts the figure output is
 byte-identical between them, and writes BENCH_kernel.json with both
-kernels' median runs/sec, ops/sec, and p50 campaign wall time. The
+kernels' median runs/sec, ops/sec, p50 campaign wall time, core
+scan fraction (from one extra self-profiled run per kernel), and
+the host context the numbers were measured on. The
 sparse kernel must not be slower than --min-kernel-ratio times the
 dense kernel measured in the same job — a same-machine comparison,
 so CI noise cancels out of the ratio:
@@ -39,12 +41,55 @@ subprocess errors.
 import argparse
 import json
 import os
+import platform
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
 LOOP_KINDS = ("branch-loop", "load-loop", "operand-loop")
+
+# Below this many repeats the medians are dominated by scheduler
+# noise on a shared CI host; the baseline still runs, but the report
+# flags itself as statistically weak.
+REPEATS_FLOOR = 5
+
+
+def round_floats(value, digits=3):
+    """Round every float in a JSON-ish structure to a stable number
+    of decimals, so committed benchmark files do not churn on raw
+    float repr noise (53022.159999999996 vs 53022.16)."""
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {k: round_floats(v, digits) for k, v in value.items()}
+    if isinstance(value, list):
+        return [round_floats(v, digits) for v in value]
+    return value
+
+
+def host_context():
+    """Host metadata embedded in baseline reports: a committed
+    BENCH_kernel.json is meaningless without knowing what machine
+    produced it."""
+    ctx = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "cpu_model": None,
+        "cpu_mhz": None,
+    }
+    try:
+        for line in Path("/proc/cpuinfo").read_text().splitlines():
+            if ctx["cpu_model"] is None and line.startswith("model name"):
+                ctx["cpu_model"] = line.split(":", 1)[1].strip()
+            elif ctx["cpu_mhz"] is None and line.startswith("cpu MHz"):
+                ctx["cpu_mhz"] = float(line.split(":", 1)[1].strip())
+            if ctx["cpu_model"] is not None and ctx["cpu_mhz"] is not None:
+                break
+    except OSError:
+        pass
+    return ctx
 
 
 def run_bench(bench, ops, jobs, bench_json, extra_args, extra_env=None):
@@ -161,6 +206,26 @@ def measure_kernel(args, label, extra_env, failures, tmp):
     }
 
 
+def measure_scan_fraction(args, label, extra_env, failures, tmp):
+    """One profiled campaign run under one kernel; return the core's
+    scan fraction (full-IQ-scan ticks / total core ticks) or None if
+    the profile lacks a core component. The profiled run is separate
+    from the timing repeats: self-profiling adds clock reads that
+    would contaminate the runs/sec medians."""
+    env = dict(extra_env or {})
+    env["LOOPSIM_PROFILE"] = "1"
+    bench_json = Path(tmp) / f"{label}_profile.json"
+    run_bench(args.bench, args.ops, args.jobs, bench_json, [], env)
+    entry = last_entry(bench_json)
+    for comp in entry.get("tick_profile", []):
+        if comp.get("component") == "core" and comp.get("ticks"):
+            return comp.get("scan_ticks", 0) / comp["ticks"]
+    failures.append(
+        f"{label} kernel: profiled run produced no core tick profile "
+        f"(scan-fraction telemetry is broken)")
+    return None
+
+
 def run_baseline(args):
     """--baseline: dense vs sparse kernel on the same figure campaign.
 
@@ -171,10 +236,20 @@ def run_baseline(args):
     kernel's, measured back to back on the same machine.
     """
     failures = []
+    if args.repeats < REPEATS_FLOOR:
+        print(f"perf_smoke: WARNING — only {args.repeats} repeat(s) "
+              f"per kernel; medians below {REPEATS_FLOOR} repeats are "
+              f"noise-dominated on shared hosts, treat the ratio as "
+              f"indicative only", file=sys.stderr)
     with tempfile.TemporaryDirectory() as tmp:
         dense_out, dense = measure_kernel(
             args, "dense", {"LOOPSIM_DENSE_KERNEL": "1"}, failures, tmp)
         sparse_out, sparse = measure_kernel(
+            args, "sparse", None, failures, tmp)
+        dense["scan_fraction"] = measure_scan_fraction(
+            args, "dense", {"LOOPSIM_DENSE_KERNEL": "1"}, failures,
+            tmp)
+        sparse["scan_fraction"] = measure_scan_fraction(
             args, "sparse", None, failures, tmp)
 
     if dense_out != sparse_out:
@@ -196,18 +271,32 @@ def run_baseline(args):
             f"sparse kernel regressed: {sparse['runs_per_s']:.2f} < "
             f"{args.min_kernel_ratio} * {dense['runs_per_s']:.2f} "
             f"runs/s (speedup {speedup:.3f}x)")
+    if sparse["scan_fraction"] is not None:
+        print(f"perf_smoke: core scan fraction — "
+              f"dense {dense['scan_fraction']:.4f}, "
+              f"sparse {sparse['scan_fraction']:.4f}")
+        if sparse["scan_fraction"] > args.max_scan_fraction:
+            failures.append(
+                f"sparse kernel fell back to full IQ scans on "
+                f"{sparse['scan_fraction']:.1%} of core ticks "
+                f"(limit {args.max_scan_fraction:.1%}) — the "
+                f"incremental ready tracking is not carrying the "
+                f"issue stage")
 
     report = {
         "bench": args.bench.name,
         "ops": args.ops,
         "jobs": args.jobs,
         "repeats": args.repeats,
+        "repeats_floor": REPEATS_FLOOR,
+        "host": host_context(),
         "dense": dense,
         "sparse": sparse,
         "sparse_speedup": speedup,
         "figures_identical": dense_out == sparse_out,
     }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    args.out.write_text(
+        json.dumps(round_floats(report), indent=2) + "\n")
     print(f"perf_smoke: wrote {args.out}")
 
     if failures:
@@ -237,6 +326,12 @@ def main(argv):
         "--min-kernel-ratio", type=float, default=0.85,
         help="baseline mode: sparse runs/sec must be at least this "
              "fraction of dense runs/sec (same-machine comparison)")
+    parser.add_argument(
+        "--max-scan-fraction", type=float, default=0.2,
+        help="baseline mode: at most this fraction of the sparse "
+             "kernel's core ticks may run the full O(IQ) reference "
+             "scan (the incremental path reports 0; the bound "
+             "catches a silent fallback)")
     parser.add_argument(
         "--bench", type=Path,
         default=Path("build/bench/fig8_dra_speedup"),
