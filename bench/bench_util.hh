@@ -2,12 +2,15 @@
  * @file
  * Shared helpers for the figure-reproduction bench binaries.
  *
- * Common CLI surface: `<bench> [OPS] [--jobs N] [--csv] [--trace PATH]
- * [--profile] [--store DIR] [--isolate] [--deadline-ms N]
- * [--journal DIR]` in any argument order, plus the LOOPSIM_BENCH_OPS,
- * LOOPSIM_JOBS, LOOPSIM_TRACE, LOOPSIM_PROFILE, LOOPSIM_STORE,
- * LOOPSIM_ISOLATE, LOOPSIM_DEADLINE_MS and LOOPSIM_JOURNAL environment
- * variables. Every binary records campaign telemetry (wall clock,
+ * Common CLI surface: `<bench> [OPS] [--jobs N|auto] [--csv]
+ * [--trace PATH] [--profile] [--store DIR] [--isolate]
+ * [--deadline-ms N] [--journal DIR] [--server HOST:PORT]` in any
+ * argument order, plus the LOOPSIM_BENCH_OPS, LOOPSIM_JOBS,
+ * LOOPSIM_TRACE, LOOPSIM_PROFILE, LOOPSIM_STORE, LOOPSIM_ISOLATE,
+ * LOOPSIM_DEADLINE_MS, LOOPSIM_JOURNAL and LOOPSIM_SERVER environment
+ * variables. `--server` delegates every campaign to a loopsim-serve
+ * daemon (results stay byte-identical to local runs; the entry grows a
+ * "serve" telemetry object); `--jobs auto` means the host CPU count. Every binary records campaign telemetry (wall clock,
  * runs/sec, cache activity, supervision counters, and the kernel
  * tick profile when --profile is on) into BENCH_campaign.json on
  * exit — including on a SIGINT/SIGTERM drain, via the campaign
@@ -35,6 +38,7 @@
 
 #include "harness/campaign.hh"
 #include "harness/supervisor.hh"
+#include "serve/client.hh"
 #include "store/journal.hh"
 #include "store/result_store.hh"
 #include "trace/loop_trace.hh"
@@ -66,7 +70,7 @@ flagTakesValue(const std::string &flag)
 {
     return flag == "--jobs" || flag == "-j" || flag == "--trace" ||
            flag == "--store" || flag == "--deadline-ms" ||
-           flag == "--journal";
+           flag == "--journal" || flag == "--server";
 }
 
 /** Value of a `--flag V` / `--flag=V` option, or "" when absent. */
@@ -135,7 +139,8 @@ benchOps(int argc, char **argv, std::uint64_t def = 200000)
 }
 
 /**
- * Worker count from `--jobs N`, `--jobs=N` or `-j N`; 0 (automatic:
+ * Worker count from `--jobs N|auto`, `--jobs=N|auto` or `-j N`; "auto"
+ * resolves to the host's hardware thread count. 0 (automatic:
  * LOOPSIM_JOBS, then hardware_concurrency) when absent.
  */
 inline unsigned
@@ -159,8 +164,14 @@ benchJobs(int argc, char **argv)
                 ++i;
             continue;
         }
-        return static_cast<unsigned>(
-            detail::parseCount(value, "job count"));
+        bool ok = false;
+        unsigned jobs = parseJobsSpec(value, ok);
+        if (!ok) {
+            std::fprintf(stderr, "invalid job count: \"%s\" (expected "
+                         "a number or \"auto\")\n", value.c_str());
+            std::exit(2);
+        }
+        return jobs;
     }
     return 0;
 }
@@ -251,6 +262,25 @@ benchJournal(int argc, char **argv)
     return !path.empty() ? path : store::journalPath();
 }
 
+/**
+ * Campaign-service endpoint: `--server HOST:PORT` / `--server=...`,
+ * else the LOOPSIM_SERVER environment variable; "" when local. A
+ * `--server` with a missing endpoint is a usage error (exit 2).
+ */
+inline std::string
+benchServer(int argc, char **argv)
+{
+    bool present = detail::hasFlag(argc, argv, "--server");
+    std::string endpoint = detail::flagValue(argc, argv, "--server");
+    if (endpoint.empty() && (present || detail::hasFlag(argc, argv,
+                                                        "--server="))) {
+        std::fprintf(stderr, "--server needs an endpoint (usage: "
+                     "--server HOST:PORT)\n");
+        std::exit(2);
+    }
+    return !endpoint.empty() ? endpoint : serve::serveEndpoint();
+}
+
 /** Workloads used by ablation benches (a representative subset). */
 inline std::vector<std::string>
 ablationWorkloads()
@@ -298,6 +328,9 @@ class CampaignRecorder
         std::string journal_dir = benchJournal(argc, argv);
         if (!journal_dir.empty())
             store::setJournalPath(journal_dir);
+        std::string server = benchServer(argc, argv);
+        if (!server.empty())
+            serve::setServeEndpoint(server);
         // The campaign executor runs on this thread, so the hook fires
         // with this object alive and no concurrent flush possible.
         setCampaignInterruptFlush([this] { flush(); });
@@ -355,6 +388,23 @@ class CampaignRecorder
               << ", \"backoff_waits\": " << t.backoffWaits
               << ", \"backoff_wait_ms\": " << t.backoffWaitMs
               << ", \"resumed\": " << t.resumed << "}";
+        if (serve::serveConfigured()) {
+            const serve::ServeTelemetry s = serve::lastClientTelemetry();
+            entry << ", \"serve\": {\"endpoint\": \""
+                  << serve::serveEndpoint()
+                  << "\", \"tenant\": \"" << s.tenant
+                  << "\", \"cells\": " << s.cells
+                  << ", \"queued\": " << s.queued
+                  << ", \"simulated\": " << s.simulated
+                  << ", \"cache_hits\": " << s.cacheHits
+                  << ", \"dedup_hits\": " << s.dedupHits
+                  << ", \"resumed\": " << s.resumed
+                  << ", \"failures\": " << s.failures
+                  << ", \"crashes\": " << s.crashes
+                  << ", \"timeouts\": " << s.timeouts
+                  << ", \"reconnects\": " << s.reconnects
+                  << ", \"wall_s\": " << s.wallSeconds << "}";
+        }
         if (!t.workers.empty()) {
             entry << ", \"workers\": [";
             for (std::size_t i = 0; i < t.workers.size(); ++i) {

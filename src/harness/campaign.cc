@@ -16,6 +16,7 @@
 #include "base/logging.hh"
 #include "core/machine_config.hh"
 #include "harness/supervisor.hh"
+#include "serve/client.hh"
 #include "store/fingerprint.hh"
 #include "store/journal.hh"
 #include "trace/loop_trace.hh"
@@ -118,11 +119,9 @@ envJobs()
         const char *env = std::getenv("LOOPSIM_JOBS");
         if (!env || !*env)
             return 0u;
-        char *end = nullptr;
-        unsigned long v = std::strtoul(env, &end, 10);
-        if (end == env || *end != '\0')
-            return 0u;
-        return static_cast<unsigned>(std::min(v, 1024ul));
+        bool ok = false;
+        const unsigned v = parseJobsSpec(env, ok);
+        return ok ? v : 0u;
     }();
     return jobs;
 }
@@ -271,6 +270,30 @@ setCampaignJobs(unsigned jobs)
 }
 
 unsigned
+hostCpus()
+{
+    return std::max(std::thread::hardware_concurrency(), 1u);
+}
+
+unsigned
+parseJobsSpec(const std::string &spec, bool &ok)
+{
+    ok = false;
+    if (spec.empty())
+        return 0;
+    if (spec == "auto") {
+        ok = true;
+        return hostCpus();
+    }
+    char *end = nullptr;
+    unsigned long v = std::strtoul(spec.c_str(), &end, 10);
+    if (end == spec.c_str() || *end != '\0')
+        return 0;
+    ok = true;
+    return static_cast<unsigned>(std::min(v, 1024ul));
+}
+
+unsigned
 campaignJobs()
 {
     unsigned jobs = explicitJobs.load(std::memory_order_relaxed);
@@ -285,6 +308,21 @@ std::vector<RunResult>
 runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
             unsigned jobs)
 {
+    // Remote delegation (--server / LOOPSIM_SERVER): ship the plan to
+    // a loopsim-serve daemon instead of simulating here. Trace
+    // collection opts out (loop events never cross the wire), and any
+    // failure falls back to local execution so a dead server costs a
+    // warning, not the figure.
+    if (!plan.empty() && serve::serveConfigured() &&
+        !trace::collectionActive()) {
+        std::vector<RunResult> remote;
+        std::string err;
+        if (serve::runCampaignRemote(plan, policy, remote, err))
+            return remote;
+        warn("campaign: remote submission to ", serve::serveEndpoint(),
+             " failed (", err, "); falling back to local execution");
+    }
+
     if (jobs == 0)
         jobs = campaignJobs();
     jobs = static_cast<unsigned>(
@@ -302,7 +340,7 @@ runCampaign(const CampaignPlan &plan, const RetryPolicy &policy,
             warn("campaign --jobs ", jobs, " exceeds the ", host_cpus,
                  " hardware thread", host_cpus == 1 ? "" : "s",
                  " on this host; extra workers timeslice and add no "
-                 "throughput");
+                 "throughput (use --jobs auto for the host width)");
         }
     }
 
@@ -668,6 +706,14 @@ setCampaignInterruptFlush(std::function<void()> hook)
 {
     std::lock_guard<std::mutex> lock(flushHookMutex);
     interruptFlushHook = std::move(hook);
+}
+
+void
+recordCampaignTelemetry(const CampaignTelemetry &t)
+{
+    std::lock_guard<std::mutex> lock(telemetryMutex);
+    lastTelemetry = t;
+    totalTelemetry.accumulate(t);
 }
 
 CampaignTelemetry

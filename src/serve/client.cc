@@ -1,0 +1,359 @@
+#include "serve/client.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/annotations.hh"
+#include "base/logging.hh"
+#include "harness/campaign.hh"
+
+namespace loopsim::serve
+{
+
+namespace
+{
+
+std::mutex &
+clientMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** --server override; "" = unset. */
+LOOPSIM_CAMPAIGN_GUARDED("clientMutex")
+std::string endpointOverride;
+LOOPSIM_CAMPAIGN_GUARDED("clientMutex")
+bool endpointOverridden = false;
+
+LOOPSIM_CAMPAIGN_GUARDED("clientMutex")
+ServeTelemetry lastTelemetry;
+
+std::string
+envEndpoint()
+{
+    const char *env = std::getenv("LOOPSIM_SERVER"); // NOLINT(concurrency-mt-unsafe)
+    return env != nullptr ? std::string(env) : std::string();
+}
+
+std::string
+resolveTenant(const std::string &requested)
+{
+    if (!requested.empty())
+        return requested;
+    const char *env = std::getenv("LOOPSIM_TENANT"); // NOLINT(concurrency-mt-unsafe)
+    if (env != nullptr && *env != '\0')
+        return env;
+    return "anonymous";
+}
+
+/** Split "host:port"; false on anything unusable. */
+bool
+splitEndpoint(const std::string &endpoint, std::string &host,
+              std::string &port)
+{
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= endpoint.size()) {
+        return false;
+    }
+    host = endpoint.substr(0, colon);
+    port = endpoint.substr(colon + 1);
+    return true;
+}
+
+/** Connect a TCP socket to @p endpoint; -1 (with @p error) on failure. */
+int
+connectTo(const std::string &endpoint, std::string &error)
+{
+    std::string host;
+    std::string port;
+    if (!splitEndpoint(endpoint, host, port)) {
+        error = "unusable server endpoint \"" + endpoint +
+                "\" (want host:port)";
+        return -1;
+    }
+
+    struct addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_NUMERICSERV;
+    struct addrinfo *list = nullptr;
+    int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &list);
+    if (gai != 0) {
+        error = "cannot resolve " + endpoint + ": " + gai_strerror(gai);
+        return -1;
+    }
+    int fd = -1;
+    for (struct addrinfo *ai = list; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(list);
+    if (fd < 0)
+        error = "cannot connect to " + endpoint;
+    return fd;
+}
+
+/** Hello/HelloOk handshake on a fresh connection. */
+bool
+handshake(int fd, const std::string &tenant, std::string &error)
+{
+    if (!writeFrame(fd, FrameType::Hello, encodeHello(tenant))) {
+        error = "server closed the connection during handshake";
+        return false;
+    }
+    Frame frame;
+    if (readFrame(fd, frame) != ReadStatus::Ok) {
+        error = "unreadable handshake reply";
+        return false;
+    }
+    if (frame.type == FrameType::Error) {
+        std::string msg;
+        decodeError(frame.payload, msg);
+        error = "server refused: " + msg;
+        return false;
+    }
+    std::uint32_t version = 0;
+    if (frame.type != FrameType::HelloOk ||
+        !decodeHelloOk(frame.payload, version) ||
+        version != kProtocolVersion) {
+        error = "protocol version mismatch";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * One connection's worth of submit + stream. Results land by index
+ * into @p results / @p have; true only when Done arrived with every
+ * cell assembled. @p drop_after (single-shot, zeroed when taken)
+ * injects a client-side disconnect for the resume tests.
+ */
+bool
+attemptPlan(int fd, const std::string &submit_payload, std::size_t cells,
+            std::vector<RunResult> &results, std::vector<bool> &have,
+            ServeTelemetry &telemetry, std::size_t &drop_after,
+            std::string &error)
+{
+    if (!writeFrame(fd, FrameType::Submit, submit_payload)) {
+        error = "connection lost while submitting the plan";
+        return false;
+    }
+    std::size_t received = 0;
+    for (;;) {
+        Frame frame;
+        ReadStatus rs = readFrame(fd, frame);
+        if (rs != ReadStatus::Ok) {
+            // Corrupt and Eof alike: drop the connection and let the
+            // reconnect resubmit. A torn frame is never patched up.
+            error = rs == ReadStatus::Corrupt
+                        ? "corrupt frame from server"
+                        : "connection lost mid-stream";
+            return false;
+        }
+        switch (frame.type) {
+          case FrameType::Result: {
+            std::uint64_t index = 0;
+            RunResult res;
+            if (!decodeResult(frame.payload, index, res) ||
+                index >= cells) {
+                error = "corrupt result record from server";
+                return false;
+            }
+            results[index] = std::move(res);
+            have[index] = true;
+            ++received;
+            if (drop_after != 0 && received >= drop_after) {
+                drop_after = 0;
+                error = "connection dropped (injected)";
+                return false;
+            }
+            break;
+          }
+          case FrameType::Done: {
+            ServeTelemetry done;
+            if (decodeTelemetry(frame.payload, done))
+                telemetry.accumulate(done);
+            for (std::size_t i = 0; i < cells; ++i) {
+                if (!have[i]) {
+                    error = "server finished without every cell";
+                    return false;
+                }
+            }
+            return true;
+          }
+          case FrameType::Error: {
+            std::string msg;
+            decodeError(frame.payload, msg);
+            error = "server error: " + msg;
+            return false;
+          }
+          default:
+            error = "unexpected frame from server";
+            return false;
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+setServeEndpoint(const std::string &endpoint)
+{
+    std::lock_guard<std::mutex> lock(clientMutex());
+    endpointOverride = endpoint;
+    endpointOverridden = true;
+}
+
+std::string
+serveEndpoint()
+{
+    {
+        std::lock_guard<std::mutex> lock(clientMutex());
+        if (endpointOverridden)
+            return endpointOverride;
+    }
+    return envEndpoint();
+}
+
+bool
+serveConfigured()
+{
+    return !serveEndpoint().empty();
+}
+
+ServeTelemetry
+lastClientTelemetry()
+{
+    std::lock_guard<std::mutex> lock(clientMutex());
+    return lastTelemetry;
+}
+
+bool
+submitPlanRemote(const CampaignPlan &plan, const RetryPolicy &policy,
+                 const SubmitOptions &opts, std::vector<RunResult> &results,
+                 ServeTelemetry &telemetry, std::string &error)
+{
+    const std::string endpoint =
+        !opts.endpoint.empty() ? opts.endpoint : serveEndpoint();
+    if (endpoint.empty()) {
+        error = "no server endpoint configured";
+        return false;
+    }
+    const std::string tenant = resolveTenant(opts.tenant);
+
+    // Flatten every cell to its effective configuration *here*: the
+    // client's overlays (LOOPSIM_OVERLAY, setRunOverlay()) must be
+    // what the server simulates, and the server never sees them
+    // directly. See DESIGN.md §16 for the matching daemon-side rule.
+    CampaignPlan flat;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        RunSpec spec = plan.at(i).spec;
+        spec.overrides = effectiveRunConfig(spec);
+        flat.add(std::move(spec), plan.at(i).label);
+    }
+    const std::string submit_payload = encodePlan(flat, policy);
+
+    const std::size_t n = plan.size();
+    results.assign(n, RunResult{});
+    std::vector<bool> have(n, false);
+    telemetry = ServeTelemetry{};
+    telemetry.tenant = tenant;
+    std::size_t drop_after = opts.dropAfterResults;
+
+    const unsigned attempts = std::max(opts.reconnectAttempts, 1u);
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            ++telemetry.reconnects;
+            warn("serve: reconnecting to ", endpoint, " (attempt ",
+                 attempt + 1, " of ", attempts, "): ", error);
+            if (opts.reconnectBackoffMs > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    opts.reconnectBackoffMs * attempt));
+            }
+        }
+        int fd = connectTo(endpoint, error);
+        if (fd < 0)
+            continue;
+        bool done = handshake(fd, tenant, error) &&
+                    attemptPlan(fd, submit_payload, n, results, have,
+                                telemetry, drop_after, error);
+        ::close(fd);
+        if (done) {
+            telemetry.cells = n;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+runCampaignRemote(const CampaignPlan &plan, const RetryPolicy &policy,
+                  std::vector<RunResult> &results, std::string &error)
+{
+    // loop:exempt(analyze: wall-clock client telemetry only)
+    const auto started = std::chrono::steady_clock::now();
+    ServeTelemetry tele;
+    if (!submitPlanRemote(plan, policy, SubmitOptions{}, results, tele,
+                          error)) {
+        return false;
+    }
+    // loop:exempt(analyze: wall-clock client telemetry only)
+    const auto finished = std::chrono::steady_clock::now();
+
+    {
+        std::lock_guard<std::mutex> lock(clientMutex());
+        lastTelemetry = tele;
+    }
+
+    // Surface the service telemetry through the standard campaign
+    // counters so BENCH_campaign.json keeps one schema: simulated
+    // stays "cells that actually ran a simulator" (0 on a warm or
+    // fully resumed plan), cache and dedup hits fold into memoHits.
+    CampaignTelemetry t;
+    t.jobs = 1;
+    t.hostCpus = hostCpus();
+    t.runs = tele.cells;
+    t.failures = tele.failures;
+    t.simulated = tele.simulated;
+    t.memoHits = tele.cacheHits + tele.dedupHits;
+    t.resumed = tele.resumed;
+    t.isolatedRuns = tele.simulated;
+    t.crashes = tele.crashes;
+    t.timeouts = tele.timeouts;
+    t.wallSeconds =
+        std::chrono::duration<double>(finished - started).count();
+    recordCampaignTelemetry(t);
+    return true;
+}
+
+bool
+pingServer(const std::string &endpoint, std::string &error)
+{
+    const std::string target =
+        !endpoint.empty() ? endpoint : serveEndpoint();
+    if (target.empty()) {
+        error = "no server endpoint configured";
+        return false;
+    }
+    int fd = connectTo(target, error);
+    if (fd < 0)
+        return false;
+    const bool ok = handshake(fd, resolveTenant(""), error);
+    ::close(fd);
+    return ok;
+}
+
+} // namespace loopsim::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Client side of the campaign service: loopsim-submit and the bench
+ * binaries' `--server host:port` mode.
+ *
+ * submitPlanRemote() ships a CampaignPlan to a loopsim-serve daemon
+ * and assembles the streamed results by plan index — byte-identical to
+ * runCampaign() on the same plan against the same store. The client
+ * flattens each cell's configuration to effectiveRunConfig() before
+ * encoding, so the overlays in force on the *client* (LOOPSIM_OVERLAY,
+ * setRunOverlay()) are what the server simulates and fingerprints.
+ *
+ * Disconnect handling: any framing corruption or lost connection
+ * triggers a reconnect that resubmits the whole plan. The server's
+ * journal and cache tier answer every cell that already completed
+ * (resumed/cacheHits in telemetry, simulated == 0 for them), so a
+ * retry costs a round-trip, never duplicate simulation — and never
+ * wrong bytes, because a torn frame is dropped, not repaired.
+ */
+
+#ifndef LOOPSIM_SERVE_CLIENT_HH
+#define LOOPSIM_SERVE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace loopsim::serve
+{
+
+/** @name Process-wide endpoint configuration
+ * Precedence: setServeEndpoint() (the bench binaries' --server flag) >
+ * the LOOPSIM_SERVER environment variable > disabled. An endpoint is
+ * "host:port"; "" disables. */
+/// @{
+void setServeEndpoint(const std::string &endpoint);
+std::string serveEndpoint();
+bool serveConfigured();
+/// @}
+
+struct SubmitOptions
+{
+    /** "host:port"; empty resolves via serveEndpoint(). */
+    std::string endpoint;
+    /** Tenant label for server-side telemetry; empty resolves via
+     *  LOOPSIM_TENANT, then "anonymous". */
+    std::string tenant;
+    /** Total connection attempts (first connect included). */
+    unsigned reconnectAttempts = 3;
+    /** Wait between reconnects, in ms. */
+    std::uint64_t reconnectBackoffMs = 200;
+    /** Test hook: deliberately drop the connection after this many
+     *  Result frames (once, on the first attempt); 0 = never. The
+     *  reconnect path then exercises journal-backed resume. */
+    std::size_t dropAfterResults = 0;
+};
+
+/**
+ * Submit @p plan and assemble one result per cell in plan order.
+ * Telemetry accumulates over reconnects (simulated/crash/timeout
+ * counts sum; reconnects counts the extra connection attempts used).
+ * False (with @p error filled) when the plan could not be completed
+ * within opts.reconnectAttempts connections.
+ */
+bool submitPlanRemote(const CampaignPlan &plan, const RetryPolicy &policy,
+                      const SubmitOptions &opts,
+                      std::vector<RunResult> &results,
+                      ServeTelemetry &telemetry, std::string &error);
+
+/**
+ * runCampaign()-shaped wrapper used by the executor's delegation path:
+ * submits to serveEndpoint(), records CampaignTelemetry (mapped from
+ * the service telemetry) exactly like a local campaign, and keeps the
+ * raw service telemetry readable via lastClientTelemetry(). False when
+ * the submission failed — the caller falls back to local execution.
+ */
+bool runCampaignRemote(const CampaignPlan &plan, const RetryPolicy &policy,
+                       std::vector<RunResult> &results, std::string &error);
+
+/** Connect + Hello/HelloOk round-trip only (loopsim-submit --ping). */
+bool pingServer(const std::string &endpoint, std::string &error);
+
+/** Service telemetry of the most recent successful remote campaign. */
+ServeTelemetry lastClientTelemetry();
+
+} // namespace loopsim::serve
+
+#endif // LOOPSIM_SERVE_CLIENT_HH

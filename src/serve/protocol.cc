@@ -1,0 +1,513 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "store/record.hh"
+#include "workload/profile.hh"
+
+namespace loopsim::serve
+{
+
+namespace
+{
+
+/**
+ * A result frame's embedded store record travels between processes of
+ * the same build, so the codec's fingerprint check only needs a fixed
+ * sentinel (the supervisor pipe uses the same trick); the record CRC is
+ * what catches bytes torn inside a CRC-valid frame.
+ */
+const store::Fingerprint kServeWireFp{0x6c6f6f7073696d00ull,
+                                      0x7365727665ull};
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+bool
+getU32(const std::string &in, std::size_t &at, std::uint32_t &v)
+{
+    if (in.size() < at + 4)
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    at += 4;
+    return true;
+}
+
+bool
+getU64(const std::string &in, std::size_t &at, std::uint64_t &v)
+{
+    if (in.size() < at + 8)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    at += 8;
+    return true;
+}
+
+bool
+getF64(const std::string &in, std::size_t &at, double &v)
+{
+    std::uint64_t bits = 0;
+    if (!getU64(in, at, bits))
+        return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+bool
+getStr(const std::string &in, std::size_t &at, std::string &s)
+{
+    std::uint32_t len = 0;
+    if (!getU32(in, at, len) || in.size() - at < len)
+        return false;
+    s.assign(in, at, len);
+    at += len;
+    return true;
+}
+
+/**
+ * Every result-shaping field of one thread's profile, mirroring
+ * hashProfile() in store/fingerprint.cc — the wire must carry exactly
+ * what the fingerprint hashes, or client and server could disagree on
+ * a cache key without disagreeing on bytes sent.
+ */
+void
+putProfile(std::string &out, const BenchmarkProfile &p)
+{
+    putStr(out, p.name);
+    putU32(out, p.floatingPoint ? 1 : 0);
+
+    putF64(out, p.condBranchFrac);
+    putF64(out, p.uncondBranchFrac);
+    putF64(out, p.loadFrac);
+    putF64(out, p.storeFrac);
+    putF64(out, p.intMultFrac);
+    putF64(out, p.fpAddFrac);
+    putF64(out, p.fpMultFrac);
+    putF64(out, p.fpDivFrac);
+    putF64(out, p.nopFrac);
+    putF64(out, p.barrierFrac);
+
+    putF64(out, p.mispredictRate);
+    putF64(out, p.uncondMispredictRate);
+    putU64(out, p.numStaticBranches);
+    putF64(out, p.takenBias);
+
+    putU64(out, p.hotBytes);
+    putU64(out, p.l2Bytes);
+    putF64(out, p.l2ResidentFrac);
+    putF64(out, p.farFrac);
+    putU64(out, p.farStrideBytes);
+
+    putU32(out, static_cast<std::uint32_t>(p.depDistWeights.size()));
+    for (double w : p.depDistWeights)
+        putF64(out, w);
+    putF64(out, p.serialChainFrac);
+    putF64(out, p.longLivedSrcFrac);
+    putF64(out, p.hotSrcFrac);
+    putU64(out, p.hotRegCount);
+    putU64(out, p.hotWritePeriod);
+    putF64(out, p.secondSrcFrac);
+
+    putU64(out, p.codeLoopLength);
+    putU64(out, p.seed);
+}
+
+bool
+getProfile(const std::string &in, std::size_t &at, BenchmarkProfile &p)
+{
+    std::uint32_t flag = 0;
+    if (!getStr(in, at, p.name) || !getU32(in, at, flag))
+        return false;
+    p.floatingPoint = flag != 0;
+
+    if (!getF64(in, at, p.condBranchFrac) ||
+        !getF64(in, at, p.uncondBranchFrac) ||
+        !getF64(in, at, p.loadFrac) || !getF64(in, at, p.storeFrac) ||
+        !getF64(in, at, p.intMultFrac) || !getF64(in, at, p.fpAddFrac) ||
+        !getF64(in, at, p.fpMultFrac) || !getF64(in, at, p.fpDivFrac) ||
+        !getF64(in, at, p.nopFrac) || !getF64(in, at, p.barrierFrac)) {
+        return false;
+    }
+
+    std::uint64_t u = 0;
+    if (!getF64(in, at, p.mispredictRate) ||
+        !getF64(in, at, p.uncondMispredictRate) || !getU64(in, at, u)) {
+        return false;
+    }
+    p.numStaticBranches = static_cast<unsigned>(u);
+    if (!getF64(in, at, p.takenBias))
+        return false;
+
+    if (!getU64(in, at, p.hotBytes) || !getU64(in, at, p.l2Bytes) ||
+        !getF64(in, at, p.l2ResidentFrac) ||
+        !getF64(in, at, p.farFrac) || !getU64(in, at, p.farStrideBytes)) {
+        return false;
+    }
+
+    std::uint32_t weights = 0;
+    if (!getU32(in, at, weights) || in.size() - at < weights * 8ull)
+        return false;
+    p.depDistWeights.resize(weights);
+    for (std::uint32_t i = 0; i < weights; ++i) {
+        if (!getF64(in, at, p.depDistWeights[i]))
+            return false;
+    }
+    if (!getF64(in, at, p.serialChainFrac) ||
+        !getF64(in, at, p.longLivedSrcFrac) ||
+        !getF64(in, at, p.hotSrcFrac) || !getU64(in, at, u)) {
+        return false;
+    }
+    p.hotRegCount = static_cast<unsigned>(u);
+    if (!getU64(in, at, u))
+        return false;
+    p.hotWritePeriod = static_cast<unsigned>(u);
+    if (!getF64(in, at, p.secondSrcFrac) || !getU64(in, at, u))
+        return false;
+    p.codeLoopLength = static_cast<unsigned>(u);
+    return getU64(in, at, p.seed);
+}
+
+} // anonymous namespace
+
+void
+ServeTelemetry::accumulate(const ServeTelemetry &other)
+{
+    if (tenant.empty())
+        tenant = other.tenant;
+    cells += other.cells;
+    queued += other.queued;
+    simulated += other.simulated;
+    cacheHits += other.cacheHits;
+    dedupHits += other.dedupHits;
+    resumed += other.resumed;
+    failures += other.failures;
+    crashes += other.crashes;
+    timeouts += other.timeouts;
+    reconnects += other.reconnects;
+    wallSeconds += other.wallSeconds;
+}
+
+std::string
+encodeFrame(FrameType type, const std::string &payload)
+{
+    std::string out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    putU32(out, kFrameMagic);
+    putU32(out, static_cast<std::uint32_t>(type));
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    putU32(out, store::crc32(payload.data(), payload.size()));
+    out.append(payload);
+    return out;
+}
+
+bool
+writeFrame(int fd, FrameType type, const std::string &payload)
+{
+    const std::string bytes = encodeFrame(type, payload);
+    const char *data = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        // MSG_NOSIGNAL: a peer that vanished mid-stream must surface
+        // as EPIPE, not kill the server. Pipes (tests) lack send();
+        // fall back to write() for them.
+        ssize_t w = ::send(fd, data, left, MSG_NOSIGNAL);
+        if (w < 0 && errno == ENOTSOCK)
+            w = ::write(fd, data, left);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        left -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Read exactly @p n bytes; Ok / Eof (nothing read) / Failed. */
+ReadStatus
+readExact(int fd, std::string &out, std::size_t n)
+{
+    out.clear();
+    out.reserve(n);
+    char buf[4096];
+    while (out.size() < n) {
+        std::size_t want = std::min(sizeof(buf), n - out.size());
+        ssize_t r = ::read(fd, buf, want);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::Failed;
+        }
+        if (r == 0)
+            return out.empty() ? ReadStatus::Eof : ReadStatus::Corrupt;
+        out.append(buf, static_cast<std::size_t>(r));
+    }
+    return ReadStatus::Ok;
+}
+
+} // anonymous namespace
+
+ReadStatus
+readFrame(int fd, Frame &out)
+{
+    std::string header;
+    ReadStatus hs = readExact(fd, header, kFrameHeaderBytes);
+    if (hs != ReadStatus::Ok)
+        return hs;
+
+    std::size_t at = 0;
+    std::uint32_t magic = 0;
+    std::uint32_t type = 0;
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    getU32(header, at, magic);
+    getU32(header, at, type);
+    getU32(header, at, len);
+    getU32(header, at, crc);
+    if (magic != kFrameMagic || len > kMaxFramePayload ||
+        type < static_cast<std::uint32_t>(FrameType::Hello) ||
+        type > static_cast<std::uint32_t>(FrameType::Error)) {
+        return ReadStatus::Corrupt;
+    }
+
+    ReadStatus ps = readExact(fd, out.payload, len);
+    if (ps == ReadStatus::Eof)
+        return ReadStatus::Corrupt; // header without its payload
+    if (ps != ReadStatus::Ok)
+        return ps;
+    if (store::crc32(out.payload.data(), out.payload.size()) != crc)
+        return ReadStatus::Corrupt;
+    out.type = static_cast<FrameType>(type);
+    return ReadStatus::Ok;
+}
+
+std::string
+encodeHello(const std::string &tenant)
+{
+    std::string out;
+    putU32(out, kProtocolVersion);
+    putStr(out, tenant);
+    return out;
+}
+
+bool
+decodeHello(const std::string &payload, std::uint32_t &version,
+            std::string &tenant)
+{
+    std::size_t at = 0;
+    return getU32(payload, at, version) && getStr(payload, at, tenant) &&
+           at == payload.size();
+}
+
+std::string
+encodeHelloOk()
+{
+    std::string out;
+    putU32(out, kProtocolVersion);
+    return out;
+}
+
+bool
+decodeHelloOk(const std::string &payload, std::uint32_t &version)
+{
+    std::size_t at = 0;
+    return getU32(payload, at, version) && at == payload.size();
+}
+
+std::string
+encodePlan(const CampaignPlan &plan, const RetryPolicy &policy)
+{
+    std::string out;
+    putU32(out, policy.attempts);
+    putF64(out, policy.budgetGrowth);
+    putU64(out, policy.seedStride);
+    putU32(out, policy.failSoft ? 1 : 0);
+
+    putU64(out, plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const PlannedRun &cell = plan.at(i);
+        putStr(out, cell.label);
+        putStr(out, cell.spec.workload.label);
+        putU32(out,
+               static_cast<std::uint32_t>(cell.spec.workload.threads.size()));
+        for (const BenchmarkProfile &p : cell.spec.workload.threads)
+            putProfile(out, p);
+        const auto &entries = cell.spec.overrides.entries();
+        putU32(out, static_cast<std::uint32_t>(entries.size()));
+        for (const auto &[key, value] : entries) {
+            putStr(out, key);
+            putStr(out, value);
+        }
+        putU64(out, cell.spec.totalOps);
+        putU64(out, cell.spec.warmupOps);
+        putU64(out, cell.spec.maxCycles);
+    }
+    return out;
+}
+
+bool
+decodePlan(const std::string &payload, CampaignPlan &plan,
+           RetryPolicy &policy)
+{
+    std::size_t at = 0;
+    std::uint32_t flag = 0;
+    if (!getU32(payload, at, policy.attempts) ||
+        !getF64(payload, at, policy.budgetGrowth) ||
+        !getU64(payload, at, policy.seedStride) ||
+        !getU32(payload, at, flag)) {
+        return false;
+    }
+    policy.failSoft = flag != 0;
+
+    std::uint64_t cells = 0;
+    if (!getU64(payload, at, cells))
+        return false;
+    for (std::uint64_t c = 0; c < cells; ++c) {
+        PlannedRun cell;
+        std::uint32_t threads = 0;
+        if (!getStr(payload, at, cell.label) ||
+            !getStr(payload, at, cell.spec.workload.label) ||
+            !getU32(payload, at, threads)) {
+            return false;
+        }
+        cell.spec.workload.threads.resize(threads);
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            if (!getProfile(payload, at, cell.spec.workload.threads[t]))
+                return false;
+        }
+        std::uint32_t entries = 0;
+        if (!getU32(payload, at, entries))
+            return false;
+        for (std::uint32_t e = 0; e < entries; ++e) {
+            std::string key;
+            std::string value;
+            if (!getStr(payload, at, key) || !getStr(payload, at, value))
+                return false;
+            cell.spec.overrides.set(key, value);
+        }
+        std::uint64_t max_cycles = 0;
+        if (!getU64(payload, at, cell.spec.totalOps) ||
+            !getU64(payload, at, cell.spec.warmupOps) ||
+            !getU64(payload, at, max_cycles)) {
+            return false;
+        }
+        cell.spec.maxCycles = max_cycles;
+        plan.add(std::move(cell.spec), std::move(cell.label));
+    }
+    return at == payload.size();
+}
+
+std::string
+encodeResult(std::uint64_t index, const RunResult &result)
+{
+    std::string out;
+    putU64(out, index);
+    out.append(store::encodeRecord(kServeWireFp, result));
+    return out;
+}
+
+bool
+decodeResult(const std::string &payload, std::uint64_t &index,
+             RunResult &result)
+{
+    std::size_t at = 0;
+    if (!getU64(payload, at, index))
+        return false;
+    return store::decodeRecord(payload.substr(at), kServeWireFp, result);
+}
+
+std::string
+encodeTelemetry(const ServeTelemetry &t)
+{
+    std::string out;
+    putStr(out, t.tenant);
+    putU64(out, t.cells);
+    putU64(out, t.queued);
+    putU64(out, t.simulated);
+    putU64(out, t.cacheHits);
+    putU64(out, t.dedupHits);
+    putU64(out, t.resumed);
+    putU64(out, t.failures);
+    putU64(out, t.crashes);
+    putU64(out, t.timeouts);
+    putU64(out, t.reconnects);
+    putF64(out, t.wallSeconds);
+    return out;
+}
+
+bool
+decodeTelemetry(const std::string &payload, ServeTelemetry &t)
+{
+    std::size_t at = 0;
+    return getStr(payload, at, t.tenant) && getU64(payload, at, t.cells) &&
+           getU64(payload, at, t.queued) &&
+           getU64(payload, at, t.simulated) &&
+           getU64(payload, at, t.cacheHits) &&
+           getU64(payload, at, t.dedupHits) &&
+           getU64(payload, at, t.resumed) &&
+           getU64(payload, at, t.failures) &&
+           getU64(payload, at, t.crashes) &&
+           getU64(payload, at, t.timeouts) &&
+           getU64(payload, at, t.reconnects) &&
+           getF64(payload, at, t.wallSeconds) && at == payload.size();
+}
+
+std::string
+encodeError(const std::string &message)
+{
+    std::string out;
+    putStr(out, message);
+    return out;
+}
+
+bool
+decodeError(const std::string &payload, std::string &message)
+{
+    std::size_t at = 0;
+    return getStr(payload, at, message) && at == payload.size();
+}
+
+} // namespace loopsim::serve

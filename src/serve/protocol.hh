@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Wire protocol of the campaign service (loopsim-serve).
+ *
+ * Everything on the socket is a *frame* (integers little-endian):
+ *
+ *   offset  size  field
+ *   0       4     magic "LSV1"
+ *   4       4     frame type (FrameType)
+ *   8       4     payload size in bytes
+ *   12      4     CRC-32 (ISO-HDLC) of the payload bytes
+ *   16      ...   payload
+ *
+ * The CRC reuses the store record codec's polynomial (store/record.hh),
+ * and result payloads embed a complete store record, so a result frame
+ * is double-guarded: a frame torn by the network reads as Corrupt and a
+ * record torn inside a valid frame fails its own CRC. Either way the
+ * client treats the connection as lost and resubmits — corruption can
+ * cost a reconnect, never a wrong figure cell.
+ *
+ * Conversation:
+ *
+ *   client                         server
+ *   Hello(version, tenant)   ->
+ *                            <-   HelloOk(version)
+ *   Submit(plan, policy)     ->
+ *                            <-   Result(0, record)    in plan order
+ *                            <-   Result(1, record)
+ *                            <-   ...
+ *                            <-   Done(telemetry)
+ *
+ * Either side may send Error(message) instead and close. A client may
+ * send further Submit frames on the same connection; a draining server
+ * answers them with Error("draining").
+ *
+ * The Submit payload carries each cell's *fully resolved* configuration
+ * (effectiveRunConfig(): defaults, spec overrides and the client's
+ * overlays, flattened to one sorted key/value map) plus every field of
+ * every thread's BenchmarkProfile — the exact inputs the store
+ * fingerprint hashes (store/fingerprint.cc). The server re-resolves and
+ * re-fingerprints with the standard path, so client and server agree on
+ * cache keys and a served figure is byte-identical to a local run,
+ * provided the daemon runs without overlays of its own (see DESIGN.md
+ * §16).
+ */
+
+#ifndef LOOPSIM_SERVE_PROTOCOL_HH
+#define LOOPSIM_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+
+namespace loopsim::serve
+{
+
+constexpr std::uint32_t kFrameMagic = 0x3156534cu; // "LSV1"
+constexpr std::uint32_t kProtocolVersion = 1;
+constexpr std::size_t kFrameHeaderBytes = 16;
+/** Upper bound on one frame's payload; a header announcing more is
+ *  treated as corruption, bounding a garbage length prefix. */
+constexpr std::uint32_t kMaxFramePayload = 256u << 20;
+
+enum class FrameType : std::uint32_t
+{
+    Hello = 1,   ///< client -> server: version + tenant label
+    HelloOk = 2, ///< server -> client: version
+    Submit = 3,  ///< client -> server: plan + retry policy
+    Result = 4,  ///< server -> client: plan index + store record
+    Done = 5,    ///< server -> client: per-plan telemetry
+    Error = 6,   ///< either direction: diagnostic, then close
+};
+
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+enum class ReadStatus
+{
+    Ok,      ///< frame read and CRC-verified
+    Eof,     ///< orderly close before a header
+    Corrupt, ///< bad magic/type/length/CRC — treat the peer as lost
+    Failed,  ///< read error on the descriptor
+};
+
+/** Serialize a frame (header + payload) to bytes. */
+std::string encodeFrame(FrameType type, const std::string &payload);
+
+/** Write one whole frame to @p fd (EINTR-safe; MSG_NOSIGNAL on
+ *  sockets so a vanished peer reports an error instead of SIGPIPE). */
+bool writeFrame(int fd, FrameType type, const std::string &payload);
+
+/** Read one whole frame from @p fd, verifying magic, bounds and CRC. */
+ReadStatus readFrame(int fd, Frame &out);
+
+/** @name Payload codecs
+ * All decoders are strictly bounds-checked and return false on any
+ * mismatch, leaving the outputs unspecified. */
+/// @{
+
+std::string encodeHello(const std::string &tenant);
+bool decodeHello(const std::string &payload, std::uint32_t &version,
+                 std::string &tenant);
+
+std::string encodeHelloOk();
+bool decodeHelloOk(const std::string &payload, std::uint32_t &version);
+
+/** Submit payload: retry policy + every cell (label, workload,
+ *  resolved config entries, op/warmup/cycle budgets). */
+std::string encodePlan(const CampaignPlan &plan, const RetryPolicy &policy);
+bool decodePlan(const std::string &payload, CampaignPlan &plan,
+                RetryPolicy &policy);
+
+/** Result payload: plan index + the cell's RunResult as a store
+ *  record under a fixed sentinel fingerprint (CRC-guarded). */
+std::string encodeResult(std::uint64_t index, const RunResult &result);
+bool decodeResult(const std::string &payload, std::uint64_t &index,
+                  RunResult &result);
+
+/** Per-plan, per-tenant service telemetry (the Done payload). */
+struct ServeTelemetry
+{
+    std::string tenant;
+    /** Plan cells answered. */
+    std::uint64_t cells = 0;
+    /** Cells this session enqueued for execution (== simulated on the
+     *  server; kept distinct so a client summing over reconnects can
+     *  tell queueing from completion). */
+    std::uint64_t queued = 0;
+    /** Cells executed by the worker pool on this session's behalf. */
+    std::uint64_t simulated = 0;
+    /** Cells answered by the shared memo / persistent store. */
+    std::uint64_t cacheHits = 0;
+    /** Cells answered by subscribing to another tenant's in-flight
+     *  execution of the same fingerprint. */
+    std::uint64_t dedupHits = 0;
+    /** Cells replayed from this plan's campaign journal. */
+    std::uint64_t resumed = 0;
+    /** Failed (fail/crash/timeout) cells among the results. */
+    std::uint64_t failures = 0;
+    /** Worker-process deaths / deadline overruns attributed to cells
+     *  this session enqueued. */
+    std::uint64_t crashes = 0;
+    std::uint64_t timeouts = 0;
+    /** Client-side only: reconnect attempts consumed (always 0 in a
+     *  server-emitted Done frame). */
+    std::uint64_t reconnects = 0;
+    double wallSeconds = 0.0;
+
+    void accumulate(const ServeTelemetry &other);
+};
+
+std::string encodeTelemetry(const ServeTelemetry &t);
+bool decodeTelemetry(const std::string &payload, ServeTelemetry &t);
+
+std::string encodeError(const std::string &message);
+bool decodeError(const std::string &payload, std::string &message);
+/// @}
+
+} // namespace loopsim::serve
+
+#endif // LOOPSIM_SERVE_PROTOCOL_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Multi-tenant campaign service: the library behind loopsim-serve.
+ *
+ * A CampaignServer accepts serialized CampaignPlans from concurrent
+ * clients over TCP (serve/protocol.hh), shards their cells across a
+ * pool of executor threads that each run cells in fork-isolated
+ * supervised workers (harness/supervisor.hh: wall-clock deadlines,
+ * crash classification, backoff respawns), and streams per-cell
+ * results back strictly in plan order — a client-assembled figure is
+ * byte-identical to a local `--jobs N` run.
+ *
+ * Cache tier: before anything simulates, every cell is resolved
+ * against (in order) the plan's campaign journal (when --journal is
+ * configured: recorded verdicts included, so a reconnecting client
+ * resumes instead of re-crashing workers), the process-wide result
+ * memo, the persistent content-addressed store (--store), and the set
+ * of *in-flight* executions — a cell another tenant is simulating
+ * right now is subscribed to, not re-run. Concurrent tenants with
+ * overlapping plans therefore dedupe each other's work; each
+ * fingerprint executes at most once per server lifetime.
+ *
+ * Shutdown: beginDrain() (the daemon's SIGTERM path) stops accepting
+ * connections and new plans; in-flight plans finish streaming, queued
+ * cells complete and are journaled, then stop() joins everything.
+ * Sessions waiting for a next request while draining get
+ * Error("draining") and an orderly close.
+ */
+
+#ifndef LOOPSIM_SERVE_SERVER_HH
+#define LOOPSIM_SERVE_SERVER_HH
+
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace loopsim::serve
+{
+
+struct ServerOptions
+{
+    /** Bind address; the daemon default stays loopback-only. */
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 binds an ephemeral port (read it via port()). */
+    unsigned short port = 0;
+    /** Executor threads (each running fork-isolated workers);
+     *  0 resolves via campaignJobs() — --jobs auto = host_cpus. */
+    unsigned jobs = 0;
+};
+
+class CampaignServer
+{
+  public:
+    explicit CampaignServer(ServerOptions options = {});
+    ~CampaignServer(); ///< stop()s if still running
+
+    CampaignServer(const CampaignServer &) = delete;
+    CampaignServer &operator=(const CampaignServer &) = delete;
+
+    /** Bind, listen and spawn the accept loop + executor pool.
+     *  False (with @p error filled) when the socket setup fails. */
+    bool start(std::string &error);
+
+    /** Stop accepting connections and new plans; in-flight plans and
+     *  queued cells still complete. Idempotent, signal-driven safe to
+     *  call from any thread (not from a handler — see requestDrain). */
+    void beginDrain();
+    bool draining() const;
+
+    /** Drain, wait for sessions to finish, run down the executor
+     *  queue, join every thread. Idempotent. */
+    void stop();
+
+    /** The bound port (after start()); 0 before. */
+    unsigned short port() const;
+    /** Resolved executor-pool width (after start()). */
+    unsigned jobs() const;
+
+    /** Telemetry accumulated across every plan served so far. */
+    ServeTelemetry totals() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+/** @name Daemon drain plumbing
+ * A SIGTERM/SIGINT handler may only set a flag; the daemon's main
+ * loop polls drainRequested() and calls stop() itself. */
+/// @{
+void requestDrain(); ///< async-signal-safe
+bool drainRequested();
+void clearDrainRequest(); ///< tests
+/** Install SIGTERM/SIGINT handlers that call requestDrain(). */
+void installDrainSignalHandlers();
+/// @}
+
+} // namespace loopsim::serve
+
+#endif // LOOPSIM_SERVE_SERVER_HH

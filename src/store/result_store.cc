@@ -1,5 +1,7 @@
 #include "store/result_store.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -53,6 +55,55 @@ cacheable(const RunResult &result)
 
 /** File-scope unique suffix counter for temp names. */
 std::atomic<std::uint64_t> tempCounter{0};
+
+/**
+ * Advisory cross-process lock on `<root>/.lock`, flock(2)-based.
+ * Writers take it shared — any number of processes (a live server
+ * plus local campaigns) insert concurrently, each write already
+ * atomic via temp + rename. gcStore() takes it exclusive, because
+ * eviction removes *emptied fan-out directories*: without the lock a
+ * gc running beside a live server could remove a directory between a
+ * writer's create_directories() and its rename(), tearing the insert.
+ * A root where the lock file cannot be opened degrades to unlocked
+ * (held() == false) — the store stays usable, only the gc-vs-writer
+ * guarantee is lost.
+ */
+class StoreLock
+{
+  public:
+    StoreLock(const std::string &root, bool exclusive)
+    {
+        const std::string path =
+            (fs::path(root) / ".lock").string();
+        fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+        if (fd < 0)
+            return;
+        int rc;
+        do {
+            rc = ::flock(fd, exclusive ? LOCK_EX : LOCK_SH);
+        } while (rc != 0 && errno == EINTR);
+        if (rc != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    ~StoreLock()
+    {
+        if (fd >= 0) {
+            ::flock(fd, LOCK_UN);
+            ::close(fd);
+        }
+    }
+
+    StoreLock(const StoreLock &) = delete;
+    StoreLock &operator=(const StoreLock &) = delete;
+
+    bool held() const { return fd >= 0; }
+
+  private:
+    int fd = -1;
+};
 
 std::mutex processMutex;
 LOOPSIM_CAMPAIGN_GUARDED("processMutex") std::string explicitPath;
@@ -137,6 +188,11 @@ ResultStore::insert(const Fingerprint &fp, const RunResult &result)
     const std::string record = encodeRecord(fp, cacheable(result));
     const fs::path path = recordPath(fp);
 
+    // Shared writer lock: holds off a concurrent gcStore() (exclusive)
+    // whose empty-directory sweep could otherwise remove the fan-out
+    // directory between create_directories() and rename().
+    StoreLock write_lock(root, /*exclusive=*/false);
+
     std::error_code ec;
     fs::create_directories(path.parent_path(), ec);
     if (ec && !fs::is_directory(path.parent_path()))
@@ -170,8 +226,15 @@ ResultStore::insert(const Fingerprint &fp, const RunResult &result)
 
     fs::rename(tmp, path, ec);
     if (ec) {
-        fs::remove(tmp, ec);
-        return false;
+        // Belt and braces for an unlockable root: if something swept
+        // the fan-out directory away, re-create it and retry once.
+        std::error_code ec2;
+        fs::create_directories(path.parent_path(), ec2);
+        fs::rename(tmp, path, ec2);
+        if (ec2) {
+            fs::remove(tmp, ec);
+            return false;
+        }
     }
 
     std::lock_guard<std::mutex> lock(mutex);
@@ -361,6 +424,16 @@ GcReport
 gcStore(const std::string &dir, std::uint64_t max_bytes)
 {
     GcReport report;
+    std::error_code dir_ec;
+    if (!fs::is_directory(dir, dir_ec))
+        return report;
+
+    // Exclusive: waits out in-flight writers (shared holders in
+    // insert()) and holds new ones off while records and emptied
+    // fan-out directories are removed, so gc is safe to run against a
+    // store a live server is inserting into.
+    StoreLock lock(dir, /*exclusive=*/true);
+
     std::vector<StoreEntry> entries = scanStore(dir, /*decode=*/true);
     report.scanned = entries.size();
     for (const StoreEntry &e : entries)
@@ -396,6 +469,43 @@ gcStore(const std::string &dir, std::uint64_t max_bytes)
             fs::remove(it->path(), ec);
     }
     return report;
+}
+
+StoreSummary
+summarizeStore(const std::string &dir)
+{
+    StoreSummary summary;
+    summary.dir = dir;
+    for (const StoreEntry &entry : scanStore(dir, /*decode=*/false)) {
+        ++summary.records;
+        summary.bytes += entry.bytes;
+        if (!entry.valid)
+            ++summary.invalid;
+    }
+    return summary;
+}
+
+std::string
+storeSummaryJson(const StoreSummary &summary, const StoreStats *stats)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"dir\": \"" << summary.dir << "\",\n";
+    out << "  \"records\": " << summary.records << ",\n";
+    out << "  \"bytes\": " << summary.bytes << ",\n";
+    out << "  \"invalid\": " << summary.invalid;
+    if (stats != nullptr) {
+        out << ",\n  \"stats\": {\n";
+        out << "    \"hits\": " << stats->hits << ",\n";
+        out << "    \"misses\": " << stats->misses << ",\n";
+        out << "    \"inserts\": " << stats->inserts << ",\n";
+        out << "    \"crc_rejects\": " << stats->crcRejects << ",\n";
+        out << "    \"bytes_read\": " << stats->bytesRead << ",\n";
+        out << "    \"bytes_written\": " << stats->bytesWritten << "\n";
+        out << "  }";
+    }
+    out << "\n}\n";
+    return out.str();
 }
 
 } // namespace loopsim::store

@@ -173,9 +173,33 @@ struct GcReport
 /**
  * Evict records — invalid ones first, then oldest mtime first — until
  * the store's record bytes fit in @p max_bytes. Empty fan-out
- * subdirectories are removed afterwards.
+ * subdirectories are removed afterwards. Takes the store's advisory
+ * lock exclusively, so it is safe to run against a store a live
+ * server (or local campaign) is concurrently inserting into.
  */
 GcReport gcStore(const std::string &dir, std::uint64_t max_bytes);
+
+/** What a store directory holds (header-level scan; no CRC pass). */
+struct StoreSummary
+{
+    std::string dir;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    /** Records whose header already disqualifies them (bad name,
+     *  magic, schema, or fingerprint mismatch). */
+    std::uint64_t invalid = 0;
+};
+
+StoreSummary summarizeStore(const std::string &dir);
+
+/**
+ * The one cache-tier JSON schema shared by `loopsim-store stat --json`
+ * and the daemon's --stats-json: directory summary plus (optionally)
+ * live StoreStats counters — pass nullptr for @p stats when there is
+ * no open store handle (the CLI) and the "stats" object is omitted.
+ */
+std::string storeSummaryJson(const StoreSummary &summary,
+                             const StoreStats *stats);
 /// @}
 
 } // namespace loopsim::store

@@ -1,0 +1,692 @@
+/**
+ * @file
+ * Tests for the campaign service (src/serve/): wire-protocol codecs
+ * round-tripping bit-exactly, framing corruption reading as Corrupt
+ * (never wrong bytes), an in-process CampaignServer answering plans
+ * byte-identically to the local executor on cold and warm caches,
+ * concurrent tenants deduplicating overlapping plans, worker crash
+ * degradation, client disconnect/reconnect resume via the campaign
+ * journal (across a server restart too), and drain semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+#include "harness/supervisor.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "store/fingerprint.hh"
+#include "store/journal.hh"
+#include "store/result_store.hh"
+#include "workload/workload_set.hh"
+
+using namespace loopsim;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+RunSpec
+smallSpec(const std::string &workload, std::uint64_t ops = 4000)
+{
+    RunSpec spec;
+    spec.workload = resolveWorkload(workload);
+    spec.totalOps = ops;
+    spec.warmupOps = 1000;
+    return spec;
+}
+
+/** Process-fault overrides: crash the forked worker once it has
+ *  retired @p at ops; supervision kept fast. */
+Config
+crashConfig(std::uint64_t at, int sig, unsigned attempts)
+{
+    Config cfg;
+    cfg.setBool("integrity.fault.enable", true);
+    cfg.setUint("integrity.fault.crash_at_op", at);
+    cfg.setUint("integrity.fault.crash_signal",
+                static_cast<std::uint64_t>(sig));
+    cfg.setUint("integrity.supervisor.attempts", attempts);
+    cfg.setUint("integrity.supervisor.backoff_ms", 1);
+    return cfg;
+}
+
+fs::path
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   (name + "." + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** Restore every process-wide knob the serve tests touch. */
+struct ServeScope
+{
+    ~ServeScope()
+    {
+        serve::setServeEndpoint("");
+        serve::clearDrainRequest();
+        store::setJournalPath("");
+        store::resetProcessStore();
+        setCampaignJobs(0);
+        setDeadlineMs(0);
+    }
+};
+
+/** Bit-exact equality of everything the figures can see. */
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workloadLabel, b.workloadLabel);
+    EXPECT_EQ(a.pipeLabel, b.pipeLabel);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.failKind, b.failKind);
+    EXPECT_EQ(a.error, b.error);
+    if (!a.failed) {
+        EXPECT_EQ(a.ipc, b.ipc);
+    } else {
+        EXPECT_EQ(pointFailKind(a.ipc), pointFailKind(b.ipc));
+    }
+    EXPECT_EQ(a.operandSourceFractions, b.operandSourceFractions);
+    EXPECT_EQ(a.operandSourceCounts, b.operandSourceCounts);
+    EXPECT_EQ(a.gapCdf, b.gapCdf);
+    EXPECT_EQ(a.scalars, b.scalars);
+}
+
+void
+expectSameResults(const std::vector<RunResult> &a,
+                  const std::vector<RunResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectSameResult(a[i], b[i]);
+    }
+}
+
+CampaignPlan
+twoCellPlan()
+{
+    CampaignPlan plan;
+    plan.add(smallSpec("gcc"), "gcc");
+    plan.add(smallSpec("swim"), "swim");
+    return plan;
+}
+
+serve::SubmitOptions
+optionsFor(const serve::CampaignServer &server,
+           const std::string &tenant = "test")
+{
+    serve::SubmitOptions opts;
+    opts.endpoint = "127.0.0.1:" + std::to_string(server.port());
+    opts.tenant = tenant;
+    return opts;
+}
+
+/** Raw TCP connection to a test server, for protocol-level tests. */
+int
+connectLoopback(unsigned short port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // anonymous namespace
+
+TEST(ServeProtocolTest, PlanRoundTripPreservesFingerprints)
+{
+    CampaignPlan plan;
+    plan.add(smallSpec("gcc"), "fig gcc");
+    plan.add(smallSpec("apsi-swim", 6000), "fig pair");
+    Config cfg;
+    cfg.setUint("core.iq_ex", 7);
+    RunSpec tuned = smallSpec("m88");
+    tuned.overrides = cfg;
+    plan.add(std::move(tuned), "fig tuned");
+
+    RetryPolicy policy;
+    policy.attempts = 5;
+    policy.budgetGrowth = 3.5;
+    policy.seedStride = 11;
+    policy.failSoft = false;
+
+    const std::string payload = serve::encodePlan(plan, policy);
+    CampaignPlan decoded;
+    RetryPolicy decoded_policy;
+    ASSERT_TRUE(serve::decodePlan(payload, decoded, decoded_policy));
+
+    EXPECT_EQ(decoded_policy.attempts, policy.attempts);
+    EXPECT_EQ(decoded_policy.budgetGrowth, policy.budgetGrowth);
+    EXPECT_EQ(decoded_policy.seedStride, policy.seedStride);
+    EXPECT_EQ(decoded_policy.failSoft, policy.failSoft);
+
+    ASSERT_EQ(decoded.size(), plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        EXPECT_EQ(decoded.at(i).label, plan.at(i).label);
+        // The decisive property: the server fingerprints the decoded
+        // spec to the same cache key the client's spec hashes to.
+        EXPECT_EQ(store::fingerprintRun(decoded.at(i).spec, policy),
+                  store::fingerprintRun(plan.at(i).spec, policy));
+    }
+    EXPECT_EQ(fingerprintPlan(decoded, decoded_policy),
+              fingerprintPlan(plan, policy));
+}
+
+TEST(ServeProtocolTest, ResultAndTelemetryRoundTrip)
+{
+    RunResult res;
+    res.workloadLabel = "gcc";
+    res.pipeLabel = "2_5";
+    res.cycles = 12345;
+    res.retired = 4000;
+    res.ipc = 1.75;
+    res.gapCdf = {0.25, 0.5, 1.0};
+    res.scalars["core.retired"] = 4000.0;
+
+    const std::string payload = serve::encodeResult(7, res);
+    std::uint64_t index = 0;
+    RunResult back;
+    ASSERT_TRUE(serve::decodeResult(payload, index, back));
+    EXPECT_EQ(index, 7u);
+    expectSameResult(back, res);
+
+    serve::ServeTelemetry tele;
+    tele.tenant = "fig8";
+    tele.cells = 13;
+    tele.queued = 4;
+    tele.simulated = 4;
+    tele.cacheHits = 8;
+    tele.dedupHits = 1;
+    tele.failures = 2;
+    tele.wallSeconds = 1.5;
+    serve::ServeTelemetry tback;
+    ASSERT_TRUE(
+        serve::decodeTelemetry(serve::encodeTelemetry(tele), tback));
+    EXPECT_EQ(tback.tenant, tele.tenant);
+    EXPECT_EQ(tback.cells, tele.cells);
+    EXPECT_EQ(tback.queued, tele.queued);
+    EXPECT_EQ(tback.simulated, tele.simulated);
+    EXPECT_EQ(tback.cacheHits, tele.cacheHits);
+    EXPECT_EQ(tback.dedupHits, tele.dedupHits);
+    EXPECT_EQ(tback.failures, tele.failures);
+    EXPECT_EQ(tback.wallSeconds, tele.wallSeconds);
+}
+
+TEST(ServeProtocolTest, FramingCorruptionReadsAsCorruptNeverWrongBytes)
+{
+    RunResult res;
+    res.workloadLabel = "gcc";
+    res.pipeLabel = "2_5";
+    res.cycles = 999;
+    res.ipc = 2.0;
+    const std::string frame =
+        serve::encodeFrame(serve::FrameType::Result,
+                           serve::encodeResult(3, res));
+
+    // Flip one byte anywhere in the frame: the reader must reject it.
+    // (Skipping no offsets: header corruption fails magic/type/len/CRC
+    // checks, payload corruption fails the frame CRC.)
+    for (std::size_t at = 0; at < frame.size(); ++at) {
+        std::string bad = frame;
+        bad[at] = static_cast<char>(bad[at] ^ 0x40);
+
+        int fds[2];
+        ASSERT_EQ(::pipe(fds), 0);
+        ASSERT_EQ(::write(fds[1], bad.data(), bad.size()),
+                  static_cast<ssize_t>(bad.size()));
+        ::close(fds[1]);
+        serve::Frame got;
+        const serve::ReadStatus rs = serve::readFrame(fds[0], got);
+        ::close(fds[0]);
+
+        if (rs != serve::ReadStatus::Ok) {
+            EXPECT_EQ(rs, serve::ReadStatus::Corrupt)
+                << "offset " << at;
+            continue;
+        }
+        // The frame CRC cannot catch a flip inside its own CRC field
+        // combined with nothing else — but any frame that does read Ok
+        // must still carry a payload whose embedded record validates
+        // or is rejected; either way the decoded bytes are never
+        // silently wrong.
+        std::uint64_t index = 0;
+        RunResult back;
+        if (serve::decodeResult(got.payload, index, back)) {
+            EXPECT_EQ(index, 3u) << "offset " << at;
+            expectSameResult(back, res);
+        }
+    }
+
+    // A truncated frame (header promises more payload than arrives)
+    // is corruption, not a short read of wrong data.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(::write(fds[1], frame.data(), frame.size() - 5),
+              static_cast<ssize_t>(frame.size() - 5));
+    ::close(fds[1]);
+    serve::Frame got;
+    EXPECT_EQ(serve::readFrame(fds[0], got),
+              serve::ReadStatus::Corrupt);
+    ::close(fds[0]);
+
+    // An orderly close before any header is Eof, not corruption.
+    ASSERT_EQ(::pipe(fds), 0);
+    ::close(fds[1]);
+    EXPECT_EQ(serve::readFrame(fds[0], got), serve::ReadStatus::Eof);
+    ::close(fds[0]);
+}
+
+TEST(ServeServerTest, ColdAndWarmSubmissionsMatchLocalByteForByte)
+{
+    ServeScope scope;
+    store::resetProcessStore();
+
+    serve::CampaignServer server({.host = "127.0.0.1", .jobs = 2});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    const CampaignPlan plan = twoCellPlan();
+    std::vector<RunResult> remote;
+    serve::ServeTelemetry tele;
+    ASSERT_TRUE(serve::submitPlanRemote(plan, RetryPolicy{},
+                                        optionsFor(server), remote, tele,
+                                        error))
+        << error;
+    EXPECT_EQ(tele.cells, plan.size());
+    EXPECT_EQ(tele.simulated, plan.size());
+    EXPECT_EQ(tele.cacheHits, 0u);
+    EXPECT_EQ(tele.failures, 0u);
+
+    // Warm submission: everything answered from the shared cache tier.
+    std::vector<RunResult> warm;
+    serve::ServeTelemetry warm_tele;
+    ASSERT_TRUE(serve::submitPlanRemote(plan, RetryPolicy{},
+                                        optionsFor(server), warm, warm_tele,
+                                        error))
+        << error;
+    EXPECT_EQ(warm_tele.simulated, 0u);
+    EXPECT_EQ(warm_tele.cacheHits, plan.size());
+    expectSameResults(warm, remote);
+
+    server.stop();
+
+    // Local reference on a cold memo: byte-identical assembly.
+    store::processMemo().clear();
+    const std::vector<RunResult> local =
+        runCampaign(plan, RetryPolicy{}, 2);
+    expectSameResults(remote, local);
+}
+
+TEST(ServeServerTest, ConcurrentTenantsDedupOverlappingPlans)
+{
+    ServeScope scope;
+    store::resetProcessStore();
+
+    serve::CampaignServer server({.host = "127.0.0.1", .jobs = 2});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // Both tenants submit the same two cells; tenant B adds a third.
+    CampaignPlan plan_a = twoCellPlan();
+    CampaignPlan plan_b = twoCellPlan();
+    plan_b.add(smallSpec("m88"), "m88");
+
+    std::vector<RunResult> res_a;
+    std::vector<RunResult> res_b;
+    serve::ServeTelemetry tele_a;
+    serve::ServeTelemetry tele_b;
+    std::string err_a;
+    std::string err_b;
+    bool ok_a = false;
+    bool ok_b = false;
+    std::thread ta([&] {
+        ok_a = serve::submitPlanRemote(plan_a, RetryPolicy{},
+                                       optionsFor(server, "tenant-a"),
+                                       res_a, tele_a, err_a);
+    });
+    std::thread tb([&] {
+        ok_b = serve::submitPlanRemote(plan_b, RetryPolicy{},
+                                       optionsFor(server, "tenant-b"),
+                                       res_b, tele_b, err_b);
+    });
+    ta.join();
+    tb.join();
+    ASSERT_TRUE(ok_a) << err_a;
+    ASSERT_TRUE(ok_b) << err_b;
+
+    // 3 unique fingerprints total: every overlap cell simulated once
+    // server-wide, the other tenant answered by cache or in-flight
+    // subscription.
+    EXPECT_EQ(tele_a.simulated + tele_b.simulated, 3u);
+    EXPECT_EQ(tele_a.cacheHits + tele_a.dedupHits + tele_b.cacheHits +
+                  tele_b.dedupHits,
+              2u);
+    EXPECT_LT(std::min(tele_a.simulated, tele_b.simulated),
+              plan_a.size());
+
+    // Overlapping cells are byte-identical across tenants.
+    expectSameResult(res_a[0], res_b[0]);
+    expectSameResult(res_a[1], res_b[1]);
+
+    const serve::ServeTelemetry totals = server.totals();
+    EXPECT_EQ(totals.cells, plan_a.size() + plan_b.size());
+    EXPECT_EQ(totals.simulated, 3u);
+    server.stop();
+}
+
+TEST(ServeServerTest, DuplicatePlanPointsSimulateOnce)
+{
+    ServeScope scope;
+    store::resetProcessStore();
+
+    serve::CampaignServer server({.host = "127.0.0.1", .jobs = 2});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    CampaignPlan plan;
+    plan.add(smallSpec("gcc"), "gcc#0");
+    plan.add(smallSpec("gcc"), "gcc#1");
+
+    std::vector<RunResult> results;
+    serve::ServeTelemetry tele;
+    ASSERT_TRUE(serve::submitPlanRemote(plan, RetryPolicy{},
+                                        optionsFor(server), results, tele,
+                                        error))
+        << error;
+    EXPECT_EQ(tele.simulated, 1u);
+    EXPECT_EQ(tele.dedupHits + tele.cacheHits, 1u);
+    expectSameResult(results[0], results[1]);
+    server.stop();
+}
+
+TEST(ServeServerTest, WorkerCrashDegradesToCrashCell)
+{
+    ServeScope scope;
+    store::resetProcessStore();
+
+    serve::CampaignServer server({.host = "127.0.0.1", .jobs = 1});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    CampaignPlan plan;
+    RunSpec poison = smallSpec("gcc");
+    poison.overrides = crashConfig(2000, SIGSEGV, 2);
+    plan.add(std::move(poison), "poison");
+    plan.add(smallSpec("swim"), "healthy");
+
+    std::vector<RunResult> results;
+    serve::ServeTelemetry tele;
+    ASSERT_TRUE(serve::submitPlanRemote(plan, RetryPolicy{},
+                                        optionsFor(server), results, tele,
+                                        error))
+        << error;
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].failed);
+    EXPECT_EQ(results[0].failKind, FailKind::Crash);
+    EXPECT_EQ(pointFailKind(results[0].ipc), FailKind::Crash);
+    EXPECT_FALSE(results[1].failed);
+    EXPECT_EQ(tele.failures, 1u);
+    EXPECT_GE(tele.crashes, 2u); // both spawn attempts died
+    server.stop();
+}
+
+TEST(ServeServerTest, ClientReconnectResumesFromJournal)
+{
+    ServeScope scope;
+    store::resetProcessStore();
+    const fs::path journal_dir = freshDir("serve_reconnect_journal");
+    store::setJournalPath(journal_dir.string());
+
+    serve::CampaignServer server({.host = "127.0.0.1", .jobs = 2});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    CampaignPlan plan = twoCellPlan();
+    plan.add(smallSpec("m88"), "m88");
+
+    // Reference first, so the resumed output can be compared.
+    std::vector<RunResult> reference;
+    serve::ServeTelemetry ref_tele;
+    ASSERT_TRUE(serve::submitPlanRemote(plan, RetryPolicy{},
+                                        optionsFor(server), reference,
+                                        ref_tele, error))
+        << error;
+
+    // Fresh caches: only the journal survives into the "new" client's
+    // submission below.
+    store::processMemo().clear();
+
+    serve::SubmitOptions opts = optionsFor(server, "droppy");
+    opts.dropAfterResults = 1;
+    opts.reconnectAttempts = 3;
+    opts.reconnectBackoffMs = 10;
+    std::vector<RunResult> resumed;
+    serve::ServeTelemetry tele;
+    ASSERT_TRUE(serve::submitPlanRemote(plan, RetryPolicy{}, opts,
+                                        resumed, tele, error))
+        << error;
+    EXPECT_GE(tele.reconnects, 1u);
+    // The replay answered the reconnect: nothing simulated twice, and
+    // the journal (which outranks the caches) covered completed cells.
+    EXPECT_GT(tele.resumed, 0u);
+    expectSameResults(resumed, reference);
+    server.stop();
+}
+
+TEST(ServeServerTest, JournalResumesAcrossServerRestart)
+{
+    ServeScope scope;
+    store::resetProcessStore();
+    const fs::path journal_dir = freshDir("serve_restart_journal");
+    store::setJournalPath(journal_dir.string());
+
+    CampaignPlan plan = twoCellPlan();
+    std::vector<RunResult> reference;
+
+    {
+        serve::CampaignServer server({.host = "127.0.0.1", .jobs = 2});
+        std::string error;
+        ASSERT_TRUE(server.start(error)) << error;
+
+        // The client vanishes mid-stream and never reconnects; the
+        // server still finishes and journals the whole plan.
+        serve::SubmitOptions opts = optionsFor(server, "vanished");
+        opts.dropAfterResults = 1;
+        opts.reconnectAttempts = 1;
+        std::vector<RunResult> dropped;
+        serve::ServeTelemetry tele;
+        std::string err;
+        EXPECT_FALSE(serve::submitPlanRemote(plan, RetryPolicy{}, opts,
+                                             dropped, tele, err));
+        reference = runCampaign(plan, RetryPolicy{}, 2);
+        server.stop(); // drains: every cell completed and journaled
+    }
+
+    // "Restart": new server, cold memo, same journal directory.
+    store::processMemo().clear();
+    serve::CampaignServer server({.host = "127.0.0.1", .jobs = 2});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    std::vector<RunResult> resumed;
+    serve::ServeTelemetry tele;
+    ASSERT_TRUE(serve::submitPlanRemote(plan, RetryPolicy{},
+                                        optionsFor(server, "returned"),
+                                        resumed, tele, error))
+        << error;
+    EXPECT_EQ(tele.simulated, 0u);
+    EXPECT_EQ(tele.resumed, plan.size());
+    expectSameResults(resumed, reference);
+    server.stop();
+}
+
+TEST(ServeServerTest, DrainRefusesNewPlansButFinishesInFlight)
+{
+    ServeScope scope;
+    store::resetProcessStore();
+
+    serve::CampaignServer server({.host = "127.0.0.1", .jobs = 2});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // Raw connection: handshake, submit, read the first result, THEN
+    // drain — the in-flight plan must still stream to completion.
+    int fd = connectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(serve::writeFrame(fd, serve::FrameType::Hello,
+                                  serve::encodeHello("drain-test")));
+    serve::Frame frame;
+    ASSERT_EQ(serve::readFrame(fd, frame), serve::ReadStatus::Ok);
+    ASSERT_EQ(frame.type, serve::FrameType::HelloOk);
+
+    const CampaignPlan plan = twoCellPlan();
+    ASSERT_TRUE(serve::writeFrame(
+        fd, serve::FrameType::Submit,
+        serve::encodePlan(plan, RetryPolicy{})));
+    ASSERT_EQ(serve::readFrame(fd, frame), serve::ReadStatus::Ok);
+    ASSERT_EQ(frame.type, serve::FrameType::Result);
+
+    server.beginDrain();
+
+    std::size_t results = 1;
+    bool done = false;
+    while (serve::readFrame(fd, frame) == serve::ReadStatus::Ok) {
+        if (frame.type == serve::FrameType::Result)
+            ++results;
+        if (frame.type == serve::FrameType::Done) {
+            done = true;
+            break;
+        }
+    }
+    EXPECT_EQ(results, plan.size());
+    EXPECT_TRUE(done);
+
+    // The now-idle session is told the server is draining.
+    ASSERT_EQ(serve::readFrame(fd, frame), serve::ReadStatus::Ok);
+    EXPECT_EQ(frame.type, serve::FrameType::Error);
+    std::string message;
+    ASSERT_TRUE(serve::decodeError(frame.payload, message));
+    EXPECT_EQ(message, "draining");
+    ::close(fd);
+
+    // New connections are refused once draining.
+    std::vector<RunResult> late;
+    serve::ServeTelemetry tele;
+    EXPECT_FALSE(serve::submitPlanRemote(plan, RetryPolicy{},
+                                         optionsFor(server), late, tele,
+                                         error));
+    server.stop();
+}
+
+TEST(ServeServerTest, SigtermRequestsDrain)
+{
+    ServeScope scope;
+    serve::clearDrainRequest();
+    EXPECT_FALSE(serve::drainRequested());
+
+    serve::installDrainSignalHandlers();
+    ASSERT_EQ(::raise(SIGTERM), 0);
+    EXPECT_TRUE(serve::drainRequested());
+    serve::clearDrainRequest();
+
+    // Restore default handlers so a later real SIGTERM still kills
+    // the test binary.
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+}
+
+TEST(ServeClientTest, JobsSpecParsesNumbersAndAuto)
+{
+    bool ok = false;
+    EXPECT_EQ(parseJobsSpec("4", ok), 4u);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseJobsSpec("auto", ok), hostCpus());
+    EXPECT_TRUE(ok);
+    EXPECT_GE(hostCpus(), 1u);
+    parseJobsSpec("fast", ok);
+    EXPECT_FALSE(ok);
+    parseJobsSpec("", ok);
+    EXPECT_FALSE(ok);
+    parseJobsSpec("4x", ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(ServeClientTest, EndpointPrecedenceAndFailFast)
+{
+    ServeScope scope;
+    serve::setServeEndpoint("127.0.0.1:1");
+    EXPECT_TRUE(serve::serveConfigured());
+    EXPECT_EQ(serve::serveEndpoint(), "127.0.0.1:1");
+    serve::setServeEndpoint("");
+    EXPECT_FALSE(serve::serveConfigured());
+
+    // Unusable endpoints fail with a diagnostic, not a hang.
+    std::string error;
+    EXPECT_FALSE(serve::pingServer("no-port-here", error));
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    // Port 1 on loopback: connection refused (nothing listens there).
+    EXPECT_FALSE(serve::pingServer("127.0.0.1:1", error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeClientTest, RunCampaignDelegatesToServerAndRecordsTelemetry)
+{
+    ServeScope scope;
+    store::resetProcessStore();
+
+    serve::CampaignServer server({.host = "127.0.0.1", .jobs = 2});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    const CampaignPlan plan = twoCellPlan();
+    const std::vector<RunResult> local = runCampaign(plan, RetryPolicy{}, 2);
+    store::processMemo().clear();
+    resetCampaignTotals();
+
+    serve::setServeEndpoint("127.0.0.1:" +
+                            std::to_string(server.port()));
+    const std::vector<RunResult> remote = runCampaign(plan);
+    serve::setServeEndpoint("");
+
+    expectSameResults(remote, local);
+    const CampaignTelemetry t = lastCampaignTelemetry();
+    EXPECT_EQ(t.runs, plan.size());
+    EXPECT_EQ(t.simulated, plan.size());
+    EXPECT_EQ(campaignTotals().runs, plan.size());
+    const serve::ServeTelemetry s = serve::lastClientTelemetry();
+    EXPECT_EQ(s.cells, plan.size());
+    EXPECT_EQ(s.simulated, plan.size());
+    server.stop();
+}

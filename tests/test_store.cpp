@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -20,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "../bench/bench_util.hh"
@@ -651,7 +653,10 @@ TEST_F(StoreEnv, VerifyReportsCorruptionAndGcEvictsInvalidThenOldest)
     EXPECT_EQ(drain.removed, 2u);
     EXPECT_EQ(drain.bytesAfter, 0u);
     EXPECT_TRUE(store::scanStore(dir.string(), false).empty());
-    EXPECT_TRUE(fs::is_empty(dir));
+    // Only the advisory lock file survives a gc-to-zero; every record
+    // and fan-out directory is gone.
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir))
+        EXPECT_EQ(entry.path().filename(), ".lock");
 }
 
 TEST(StoreBenchFlag, StoreWithoutPathExitsWithUsage)
@@ -682,4 +687,112 @@ TEST(StoreBenchFlag, StoreValueParsesInBothSpellings)
     char joined[] = "--store=/tmp/lsr-cli2";
     char *eq[] = {bench, joined};
     EXPECT_EQ(benchutil::benchStore(2, eq), "/tmp/lsr-cli2");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-writer hardening: a live server (or several local
+// campaigns) may be inserting into the same store directory that a
+// maintenance gc is sweeping. The advisory lock (shared for writers,
+// exclusive for gc) must keep every acknowledged insert durable —
+// gc may evict by policy, but it must never tear an in-flight write
+// or delete the fan-out directory out from under a rename.
+
+TEST_F(StoreEnv, ConcurrentInsertersSurviveLiveGc)
+{
+    const fs::path dir = freshDir("store_gc_race");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 32;
+
+    std::atomic<bool> stop_gc{false};
+    std::atomic<int> failed_inserts{0};
+
+    // Each writer opens its own handle, the way separate processes
+    // (server + CLI campaigns) would.
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&, t] {
+            store::ResultStore local(dir.string());
+            for (int i = 0; i < kPerThread; ++i) {
+                const store::Fingerprint fp{
+                    static_cast<std::uint64_t>(t) + 1,
+                    static_cast<std::uint64_t>(i) + 1};
+                if (!local.insert(fp, sampleResult(
+                        static_cast<std::uint32_t>(t * kPerThread + i))))
+                    failed_inserts.fetch_add(1);
+            }
+        });
+    }
+    std::thread gc([&] {
+        // Generous budget: this gc only sweeps invalid records and
+        // empty fan-out directories — exactly the tear window the
+        // exclusive lock closes.
+        while (!stop_gc.load())
+            store::gcStore(dir.string(), 1ull << 40);
+    });
+    for (std::thread &w : writers)
+        w.join();
+    stop_gc.store(true);
+    gc.join();
+
+    EXPECT_EQ(failed_inserts.load(), 0);
+
+    // Every acknowledged insert is durable and intact (full CRC pass).
+    store::ResultStore reader(dir.string());
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPerThread; ++i) {
+            const store::Fingerprint fp{
+                static_cast<std::uint64_t>(t) + 1,
+                static_cast<std::uint64_t>(i) + 1};
+            EXPECT_TRUE(reader.lookup(fp).has_value())
+                << "lost record " << fp.hex();
+        }
+    }
+    const store::VerifyReport verify = store::verifyStore(dir.string());
+    EXPECT_EQ(verify.records,
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_EQ(verify.corrupt, 0u);
+
+    // The advisory lock file is part of the layout now.
+    EXPECT_TRUE(fs::exists(dir / ".lock"));
+}
+
+TEST_F(StoreEnv, SummaryJsonSharesOneSchemaAcrossCliAndServer)
+{
+    const fs::path dir = freshDir("store_stat_json");
+    store::ResultStore writer(dir.string());
+    ASSERT_TRUE(writer.insert(store::Fingerprint{1, 1}, sampleResult(1)));
+    ASSERT_TRUE(writer.insert(store::Fingerprint{2, 2}, sampleResult(2)));
+
+    const store::StoreSummary summary =
+        store::summarizeStore(dir.string());
+    EXPECT_EQ(summary.records, 2u);
+    EXPECT_GT(summary.bytes, 0u);
+    EXPECT_EQ(summary.invalid, 0u);
+
+    // CLI shape (loopsim-store stat --json): no open handle, so no
+    // "stats" object.
+    const std::string cli = store::storeSummaryJson(summary, nullptr);
+    EXPECT_NE(cli.find("\"dir\""), std::string::npos);
+    EXPECT_NE(cli.find("\"records\": 2"), std::string::npos);
+    EXPECT_NE(cli.find("\"bytes\""), std::string::npos);
+    EXPECT_NE(cli.find("\"invalid\": 0"), std::string::npos);
+    EXPECT_EQ(cli.find("\"stats\""), std::string::npos);
+
+    // Server shape (loopsim-serve --stats-json): same summary fields
+    // plus the live counters.
+    const store::StoreStats stats = writer.stats();
+    EXPECT_EQ(stats.inserts, 2u);
+    const std::string served = store::storeSummaryJson(summary, &stats);
+    EXPECT_NE(served.find("\"records\": 2"), std::string::npos);
+    EXPECT_NE(served.find("\"stats\""), std::string::npos);
+    EXPECT_NE(served.find("\"inserts\": 2"), std::string::npos);
+    EXPECT_NE(served.find("\"crc_rejects\": 0"), std::string::npos);
+
+    // A header-invalid file is counted, not silently skipped.
+    writeFile((dir / "00" / "junk.lsr").string(), "not a record");
+    const store::StoreSummary dirty =
+        store::summarizeStore(dir.string());
+    EXPECT_EQ(dirty.records, 3u);
+    EXPECT_EQ(dirty.invalid, 1u);
 }

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * loopsim-serve: the multi-tenant campaign service daemon.
+ *
+ *   loopsim-serve [--host A] [--port N] [--jobs N|auto]
+ *                 [--store DIR] [--journal DIR] [--deadline-ms N]
+ *                 [--stats-json PATH]
+ *
+ * Binds a TCP listener (default loopback, ephemeral port — the bound
+ * address is printed as "listening on HOST:PORT" for scripts to
+ * parse), serves campaign plans until SIGTERM/SIGINT, then drains:
+ * in-flight plans finish streaming and queued cells are completed and
+ * journaled before exit. --stats-json writes the shared cache-tier
+ * schema (see `loopsim-store stat --json`) on shutdown.
+ *
+ * The store (--store/LOOPSIM_STORE) is the daemon's shared cache tier;
+ * the journal directory (--journal/LOOPSIM_JOURNAL) makes every
+ * submitted plan resumable across client reconnects and daemon
+ * restarts. Run the daemon without LOOPSIM_OVERLAY: clients flatten
+ * their own overlays into the plans they submit, and a daemon-side
+ * overlay would skew every tenant's cache keys (DESIGN.md §16).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+#include "harness/supervisor.hh"
+#include "serve/server.hh"
+#include "store/journal.hh"
+#include "store/result_store.hh"
+
+using namespace loopsim;
+
+namespace
+{
+
+int
+usage(std::ostream &os, int exit_code)
+{
+    os << "usage: loopsim-serve [options]\n"
+          "\n"
+          "options:\n"
+          "  --host A           bind address (default 127.0.0.1)\n"
+          "  --port N           TCP port (default 0 = ephemeral; the "
+          "bound port is printed)\n"
+          "  --jobs N|auto      executor pool width (default: --jobs "
+          "auto = host CPUs)\n"
+          "  --store DIR        persistent result store (default: "
+          "$LOOPSIM_STORE)\n"
+          "  --journal DIR      campaign journal directory (default: "
+          "$LOOPSIM_JOURNAL)\n"
+          "  --deadline-ms N    per-cell wall-clock deadline for "
+          "workers\n"
+          "  --stats-json PATH  write cache-tier stats JSON on "
+          "shutdown\n";
+    return exit_code;
+}
+
+std::string
+flagValue(const std::vector<std::string> &args, const std::string &flag)
+{
+    const std::string prefix = flag + "=";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i].rfind(prefix, 0) == 0)
+            return args[i].substr(prefix.size());
+        if (args[i] != flag)
+            continue;
+        if (i + 1 >= args.size()) {
+            std::cerr << flag << " needs a value\n";
+            std::exit(2);
+        }
+        return args[i + 1];
+    }
+    return "";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (const std::string &arg : args) {
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+    }
+
+    serve::ServerOptions opts;
+    const std::string host = flagValue(args, "--host");
+    if (!host.empty())
+        opts.host = host;
+    const std::string port = flagValue(args, "--port");
+    if (!port.empty())
+        opts.port = static_cast<unsigned short>(std::stoul(port));
+
+    // Default to the full host width: the daemon is the only tenant of
+    // its machine, unlike a figure binary sharing a dev box.
+    std::string jobs_spec = flagValue(args, "--jobs");
+    if (jobs_spec.empty())
+        jobs_spec = "auto";
+    bool jobs_ok = false;
+    opts.jobs = parseJobsSpec(jobs_spec, jobs_ok);
+    if (!jobs_ok) {
+        std::cerr << "loopsim-serve: invalid --jobs \"" << jobs_spec
+                  << "\" (want a number or \"auto\")\n";
+        return 2;
+    }
+
+    const std::string store_dir = flagValue(args, "--store");
+    if (!store_dir.empty())
+        store::setStorePath(store_dir);
+    const std::string journal_dir = flagValue(args, "--journal");
+    if (!journal_dir.empty())
+        store::setJournalPath(journal_dir);
+    const std::string deadline = flagValue(args, "--deadline-ms");
+    if (!deadline.empty())
+        setDeadlineMs(std::stoull(deadline));
+    const std::string stats_json = flagValue(args, "--stats-json");
+
+    // Clients flatten their own overlays into the plans they submit; a
+    // daemon-side overlay would skew every tenant's results and cache
+    // keys, so drop an inherited one before anything can latch it
+    // (DESIGN.md §16).
+    if (std::getenv("LOOPSIM_OVERLAY") != nullptr) { // NOLINT(concurrency-mt-unsafe)
+        std::cerr << "loopsim-serve: ignoring LOOPSIM_OVERLAY (clients "
+                     "own their overlays)\n";
+        ::unsetenv("LOOPSIM_OVERLAY"); // NOLINT(concurrency-mt-unsafe)
+    }
+    clearRunOverlay();
+
+    serve::installDrainSignalHandlers();
+    serve::CampaignServer server(opts);
+    std::string error;
+    if (!server.start(error)) {
+        std::cerr << "loopsim-serve: " << error << "\n";
+        return 1;
+    }
+    std::cout << "loopsim-serve: listening on " << opts.host << ":"
+              << server.port() << " (" << server.jobs() << " worker"
+              << (server.jobs() == 1 ? "" : "s");
+    if (store::storeConfigured())
+        std::cout << ", store " << store::storePath();
+    if (store::journalConfigured())
+        std::cout << ", journal " << store::journalPath();
+    std::cout << ")" << std::endl;
+
+    while (!serve::drainRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::cout << "loopsim-serve: draining" << std::endl;
+    server.stop();
+
+    const serve::ServeTelemetry totals = server.totals();
+    std::cout << "loopsim-serve: served " << totals.cells
+              << " cell(s): " << totals.simulated << " simulated, "
+              << totals.cacheHits << " cache hit(s), "
+              << totals.dedupHits << " dedup hit(s), " << totals.resumed
+              << " resumed, " << totals.failures << " failure(s)"
+              << std::endl;
+
+    if (!stats_json.empty()) {
+        store::StoreStats stats;
+        if (store::ResultStore *ps = store::processStore())
+            stats = ps->stats();
+        std::ofstream out(stats_json, std::ios::trunc);
+        out << store::storeSummaryJson(
+            store::summarizeStore(store::storePath()),
+            store::storeConfigured() ? &stats : nullptr);
+        if (!out) {
+            std::cerr << "loopsim-serve: cannot write " << stats_json
+                      << "\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -41,8 +41,9 @@ usage(std::ostream &os, int exit_code)
           "commands:\n"
           "  list                 one line per record: fingerprint, "
           "bytes, workload, pipe, IPC\n"
-          "  stat                 aggregate summary (records, bytes, "
-          "schema versions)\n"
+          "  stat [--json]        aggregate summary (records, bytes, "
+          "schema versions); --json emits the shared cache-tier "
+          "schema\n"
           "  verify               validate every record's CRC; exit 1 "
           "if any is corrupt\n"
           "  gc --max-bytes N     evict invalid then oldest records "
@@ -119,9 +120,27 @@ cmdList(const std::string &dir)
     return 0;
 }
 
-int
-cmdStat(const std::string &dir)
+/** Whether a bare flag (no value) is present. */
+bool
+hasFlag(const std::vector<std::string> &args, const std::string &flag)
 {
+    for (const std::string &arg : args) {
+        if (arg == flag)
+            return true;
+    }
+    return false;
+}
+
+int
+cmdStat(const std::string &dir, bool json)
+{
+    if (json) {
+        // One schema with the daemon's --stats-json (which adds a
+        // "stats" object of live counters the CLI does not have).
+        std::cout << store::storeSummaryJson(store::summarizeStore(dir),
+                                             nullptr);
+        return 0;
+    }
     const auto entries = store::scanStore(dir, /*decode=*/true);
     std::uint64_t bytes = 0;
     std::size_t corrupt = 0;
@@ -331,7 +350,7 @@ main(int argc, char **argv)
     if (command == "list")
         return cmdList(dir);
     if (command == "stat")
-        return cmdStat(dir);
+        return cmdStat(dir, hasFlag(args, "--json"));
     if (command == "verify")
         return cmdVerify(dir);
     if (command == "gc")

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * loopsim-submit: submit a campaign plan to a loopsim-serve daemon.
+ *
+ *   loopsim-submit --server HOST:PORT --ping
+ *   loopsim-submit [--server HOST:PORT] [--tenant NAME]
+ *                  [--workloads a,b,c] [--ops N] [--warmup N]
+ *                  [--set key=value]...
+ *
+ * Builds one plan cell per named workload (default: the paper's
+ * thirteen figure workloads) under the given config overrides, submits
+ * it, and prints one result line per cell in plan order plus a service
+ * telemetry JSON object — assembled output is byte-identical to
+ * running the same cells locally. The figure binaries reach the same
+ * code path via their own --server flag (bench/bench_util.hh); this
+ * tool exists for scripting and smoke tests.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "serve/client.hh"
+#include "workload/workload_set.hh"
+
+using namespace loopsim;
+
+namespace
+{
+
+int
+usage(std::ostream &os, int exit_code)
+{
+    os << "usage: loopsim-submit [options]\n"
+          "\n"
+          "options:\n"
+          "  --server HOST:PORT  daemon endpoint (default: "
+          "$LOOPSIM_SERVER)\n"
+          "  --ping              handshake only; exit 0 when the "
+          "server answers\n"
+          "  --tenant NAME       tenant label for server telemetry "
+          "(default: $LOOPSIM_TENANT)\n"
+          "  --workloads a,b,c   workload labels (default: all figure "
+          "workloads)\n"
+          "  --ops N             measured micro-ops per cell\n"
+          "  --warmup N          warmup micro-ops per cell\n"
+          "  --set key=value     config override (repeatable)\n";
+    return exit_code;
+}
+
+std::string
+flagValue(const std::vector<std::string> &args, const std::string &flag)
+{
+    const std::string prefix = flag + "=";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i].rfind(prefix, 0) == 0)
+            return args[i].substr(prefix.size());
+        if (args[i] != flag)
+            continue;
+        if (i + 1 >= args.size()) {
+            std::cerr << flag << " needs a value\n";
+            std::exit(2);
+        }
+        return args[i + 1];
+    }
+    return "";
+}
+
+bool
+hasFlag(const std::vector<std::string> &args, const std::string &flag)
+{
+    for (const std::string &arg : args) {
+        if (arg == flag)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t at = 0;
+    while (at <= text.size()) {
+        const std::size_t comma = text.find(',', at);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > at)
+            out.push_back(text.substr(at, end - at));
+        if (comma == std::string::npos)
+            break;
+        at = comma + 1;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (const std::string &arg : args) {
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+    }
+
+    const std::string server = flagValue(args, "--server");
+    if (!server.empty())
+        serve::setServeEndpoint(server);
+    if (!serve::serveConfigured()) {
+        std::cerr << "loopsim-submit: no server (pass --server "
+                     "HOST:PORT or set LOOPSIM_SERVER)\n";
+        return 2;
+    }
+
+    std::string error;
+    if (hasFlag(args, "--ping")) {
+        if (!serve::pingServer("", error)) {
+            std::cerr << "loopsim-submit: " << error << "\n";
+            return 1;
+        }
+        std::cout << "loopsim-submit: " << serve::serveEndpoint()
+                  << " answers\n";
+        return 0;
+    }
+
+    Config overrides;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string kv;
+        if (args[i].rfind("--set=", 0) == 0) {
+            kv = args[i].substr(6);
+        } else if (args[i] == "--set") {
+            if (i + 1 >= args.size()) {
+                std::cerr << "--set needs key=value\n";
+                return 2;
+            }
+            kv = args[++i];
+        } else {
+            continue;
+        }
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            std::cerr << "loopsim-submit: invalid --set \"" << kv
+                      << "\" (want key=value)\n";
+            return 2;
+        }
+        overrides.set(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+
+    CampaignPlan plan;
+    const std::string workloads = flagValue(args, "--workloads");
+    const std::string ops = flagValue(args, "--ops");
+    const std::string warmup = flagValue(args, "--warmup");
+    auto addCell = [&](const Workload &w) {
+        RunSpec spec;
+        spec.workload = w;
+        spec.overrides = overrides;
+        if (!ops.empty())
+            spec.totalOps = std::stoull(ops);
+        if (!warmup.empty())
+            spec.warmupOps = std::stoull(warmup);
+        plan.add(std::move(spec), figureLabel(w));
+    };
+    if (workloads.empty()) {
+        for (const Workload &w : figureWorkloads())
+            addCell(w);
+    } else {
+        for (const std::string &label : splitCommas(workloads))
+            addCell(resolveWorkload(label));
+    }
+
+    serve::SubmitOptions opts;
+    opts.tenant = flagValue(args, "--tenant");
+    std::vector<RunResult> results;
+    serve::ServeTelemetry tele;
+    if (!serve::submitPlanRemote(plan, RetryPolicy{}, opts, results, tele,
+                                 error)) {
+        std::cerr << "loopsim-submit: " << error << "\n";
+        return 1;
+    }
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        std::cout << plan.at(i).label << "  " << r.workloadLabel << " ["
+                  << r.pipeLabel << "]";
+        if (r.failed)
+            std::cout << "  FAILED (" << failKindName(r.failKind) << ")";
+        else
+            std::cout << "  ipc=" << r.ipc << "  cycles=" << r.cycles;
+        std::cout << "\n";
+    }
+    std::cout << "{\n"
+              << "  \"tenant\": \"" << tele.tenant << "\",\n"
+              << "  \"cells\": " << tele.cells << ",\n"
+              << "  \"queued\": " << tele.queued << ",\n"
+              << "  \"simulated\": " << tele.simulated << ",\n"
+              << "  \"cache_hits\": " << tele.cacheHits << ",\n"
+              << "  \"dedup_hits\": " << tele.dedupHits << ",\n"
+              << "  \"resumed\": " << tele.resumed << ",\n"
+              << "  \"failures\": " << tele.failures << ",\n"
+              << "  \"crashes\": " << tele.crashes << ",\n"
+              << "  \"timeouts\": " << tele.timeouts << ",\n"
+              << "  \"reconnects\": " << tele.reconnects << ",\n"
+              << "  \"wall_seconds\": " << tele.wallSeconds << "\n"
+              << "}\n";
+    return 0;
+}
