@@ -104,6 +104,14 @@ getStr(const std::string &in, std::size_t &at, std::string &s)
 }
 
 /**
+ * Smallest possible wire footprint of one encoded profile (empty name,
+ * no dep-distance weights): every fixed-width field putProfile() emits
+ * plus the two length prefixes. Decoders use it to bound an announced
+ * element count against the bytes actually present before allocating.
+ */
+constexpr std::uint64_t kMinProfileWireBytes = 228;
+
+/**
  * Every result-shaping field of one thread's profile, mirroring
  * hashProfile() in store/fingerprint.cc — the wire must carry exactly
  * what the fingerprint hashes, or client and server could disagree on
@@ -266,7 +274,9 @@ writeFrame(int fd, FrameType type, const std::string &payload)
 namespace
 {
 
-/** Read exactly @p n bytes; Ok / Eof (nothing read) / Failed. */
+/** Read exactly @p n bytes; Ok / Eof (nothing read) / Failed. A
+ *  receive deadline expiring mid-read (SO_RCVTIMEO -> EAGAIN) reads
+ *  as Failed: the peer is treated as gone, never as short data. */
 ReadStatus
 readExact(int fd, std::string &out, std::size_t n)
 {
@@ -413,6 +423,12 @@ decodePlan(const std::string &payload, CampaignPlan &plan,
             !getU32(payload, at, threads)) {
             return false;
         }
+        // Bound the announced count against the bytes actually present
+        // (cf. the depDistWeights guard in getProfile): CRC32 is not a
+        // security boundary, and a garbage count must read as a
+        // malformed plan, never drive resize() into a huge allocation.
+        if (payload.size() - at < threads * kMinProfileWireBytes)
+            return false;
         cell.spec.workload.threads.resize(threads);
         for (std::uint32_t t = 0; t < threads; ++t) {
             if (!getProfile(payload, at, cell.spec.workload.threads[t]))

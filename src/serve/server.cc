@@ -14,9 +14,11 @@
 #include <vector>
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "base/logging.hh"
@@ -207,15 +209,32 @@ CampaignServer::start(std::string &error)
     int one = 1;
     ::setsockopt(s.listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
-    struct sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(s.opts.port);
-    if (::inet_pton(AF_INET, s.opts.host.c_str(), &addr.sin_addr) != 1) {
-        error = "unusable bind address " + s.opts.host;
+    // Resolve the bind address the way the client resolves endpoints
+    // (getaddrinfo), so "--host localhost" works on both sides; the
+    // listener stays IPv4 to match the sockaddr_in plumbing below.
+    struct addrinfo hints = {};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    struct addrinfo *resolved = nullptr;
+    const int gai =
+        ::getaddrinfo(s.opts.host.c_str(), nullptr, &hints, &resolved);
+    if (gai != 0 || resolved == nullptr) {
+        error = "unusable bind address " + s.opts.host + ": " +
+                (gai != 0 ? gai_strerror(gai) : "no IPv4 address");
+        if (resolved != nullptr)
+            ::freeaddrinfo(resolved);
         ::close(s.listenFd);
         s.listenFd = -1;
         return false;
     }
+    struct sockaddr_in addr = {};
+    std::memcpy(&addr, resolved->ai_addr,
+                std::min(sizeof(addr),
+                         static_cast<std::size_t>(resolved->ai_addrlen)));
+    ::freeaddrinfo(resolved);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(s.opts.port);
     if (::bind(s.listenFd, reinterpret_cast<struct sockaddr *>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(s.listenFd, 16) != 0) {
@@ -345,6 +364,20 @@ CampaignServer::Impl::acceptLoop()
                 continue;
             warn("serve: accept failed: ", std::strerror(errno));
             return;
+        }
+        // The drain-aware poll in sessionLoop only covers the gap
+        // *between* frames; these deadlines cover blocking inside one:
+        // a client stalled mid-frame (partial header/payload) or not
+        // draining its receive buffer reads/writes as client_gone
+        // after ioTimeoutMs instead of pinning this session — and
+        // stop()'s session join — forever.
+        if (opts.ioTimeoutMs > 0) {
+            struct timeval tv = {};
+            tv.tv_sec = opts.ioTimeoutMs / 1000;
+            tv.tv_usec =
+                static_cast<long>(opts.ioTimeoutMs % 1000) * 1000;
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         }
         std::lock_guard<std::mutex> lock(sessionMutex);
         sessions.emplace_back([this, fd] { sessionLoop(fd); });
@@ -632,12 +665,15 @@ CampaignServer::Impl::sessionLoop(int fd)
             }
             CampaignPlan plan;
             RetryPolicy policy;
-            if (!decodePlan(frame.payload, plan, policy)) {
-                writeFrame(fd, FrameType::Error,
-                           encodeError("unreadable plan"));
-                break;
-            }
+            // Decoding inside the try: the decoder bound-checks every
+            // count it allocates for, but one tenant's plan must never
+            // be able to escalate past its own session either way.
             try {
+                if (!decodePlan(frame.payload, plan, policy)) {
+                    writeFrame(fd, FrameType::Error,
+                               encodeError("unreadable plan"));
+                    break;
+                }
                 servePlan(fd, tenant, plan, policy, client_gone);
             } catch (const std::exception &err) {
                 warn("serve: plan from \"", tenant,

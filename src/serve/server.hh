@@ -47,6 +47,12 @@ struct ServerOptions
     /** Executor threads (each running fork-isolated workers);
      *  0 resolves via campaignJobs() — --jobs auto = host_cpus. */
     unsigned jobs = 0;
+    /** Per-call socket I/O deadline (SO_RCVTIMEO/SO_SNDTIMEO) on
+     *  accepted connections: a client that stalls mid-frame or stops
+     *  draining results is treated as gone after this long, instead of
+     *  pinning a session thread (and with it SIGTERM drain) forever.
+     *  0 disables the deadline. */
+    unsigned ioTimeoutMs = 30000;
 };
 
 class CampaignServer

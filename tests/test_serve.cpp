@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
@@ -304,6 +305,86 @@ TEST(ServeProtocolTest, FramingCorruptionReadsAsCorruptNeverWrongBytes)
     ::close(fds[1]);
     EXPECT_EQ(serve::readFrame(fds[0], got), serve::ReadStatus::Eof);
     ::close(fds[0]);
+}
+
+TEST(ServeProtocolTest, HugeThreadCountReadsAsMalformedPlanNotBadAlloc)
+{
+    // A CRC-valid frame can still carry a garbage element count; the
+    // decoder must reject it from the payload bounds, never feed it to
+    // resize() (which would throw bad_alloc/length_error and, escaping
+    // a session thread, std::terminate the whole daemon).
+    std::string payload;
+    auto put32 = [&payload](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            payload.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    };
+    auto put64 = [&payload](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            payload.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    };
+    put32(3);                    // policy.attempts
+    put64(0x4000000000000000ull); // policy.budgetGrowth = 2.0
+    put64(1);                    // policy.seedStride
+    put32(1);                    // policy.failSoft
+    put64(1);                    // one cell
+    put32(0);                    // empty cell label
+    put32(0);                    // empty workload label
+    put32(0xFFFFFFFFu);          // thread count far beyond the payload
+
+    CampaignPlan plan;
+    RetryPolicy policy;
+    EXPECT_FALSE(serve::decodePlan(payload, plan, policy));
+    EXPECT_EQ(plan.size(), 0u);
+}
+
+TEST(ServeServerTest, StalledMidFrameClientTimesOutInsteadOfHangingDrain)
+{
+    ServeScope scope;
+    serve::CampaignServer server(
+        {.host = "127.0.0.1", .jobs = 1, .ioTimeoutMs = 200});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    int fd = connectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(serve::writeFrame(fd, serve::FrameType::Hello,
+                                  serve::encodeHello("staller")));
+    serve::Frame frame;
+    ASSERT_EQ(serve::readFrame(fd, frame), serve::ReadStatus::Ok);
+    ASSERT_EQ(frame.type, serve::FrameType::HelloOk);
+
+    // Four bytes of a valid frame, then silence: the session's poll
+    // sees readable data and enters readFrame, which blocks mid-header
+    // on the remaining twelve bytes that never come.
+    const std::string whole = serve::encodeFrame(
+        serve::FrameType::Submit,
+        serve::encodePlan(twoCellPlan(), RetryPolicy{}));
+    ASSERT_EQ(::send(fd, whole.data(), 4, 0), 4);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // Without SO_RCVTIMEO on the accepted socket this join never
+    // returns — the stalled client pins the session thread and with it
+    // the daemon's SIGTERM drain.
+    server.stop();
+    ::close(fd);
+}
+
+TEST(ServeServerTest, BindAddressAcceptsHostnames)
+{
+    ServeScope scope;
+    // The client resolves endpoints with getaddrinfo; the listener
+    // must accept the same spellings (notably "localhost").
+    serve::CampaignServer server({.host = "localhost", .jobs = 1});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    EXPECT_NE(server.port(), 0);
+    server.stop();
+
+    serve::CampaignServer bad({.host = "no.such.host.invalid", .jobs = 1});
+    std::string bad_error;
+    EXPECT_FALSE(bad.start(bad_error));
+    EXPECT_NE(bad_error.find("unusable bind address"), std::string::npos)
+        << bad_error;
 }
 
 TEST(ServeServerTest, ColdAndWarmSubmissionsMatchLocalByteForByte)

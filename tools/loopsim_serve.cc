@@ -21,10 +21,14 @@
  * overlay would skew every tenant's cache keys (DESIGN.md §16).
  */
 
+#include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,9 +62,28 @@ usage(std::ostream &os, int exit_code)
           "$LOOPSIM_JOURNAL)\n"
           "  --deadline-ms N    per-cell wall-clock deadline for "
           "workers\n"
+          "  --io-timeout-ms N  per-call socket I/O deadline for "
+          "client connections (default 30000; 0 = none)\n"
           "  --stats-json PATH  write cache-tier stats JSON on "
           "shutdown\n";
     return exit_code;
+}
+
+/** Strict decimal parse (cf. parseJobsSpec): no sign, no trailing
+ *  junk, no silent wrap — a daemon flag that doesn't parse is a usage
+ *  error, never an uncaught throw or a truncated value. */
+bool
+parseU64Flag(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
 }
 
 std::string
@@ -81,6 +104,23 @@ flagValue(const std::vector<std::string> &args, const std::string &flag)
     return "";
 }
 
+std::uint64_t
+numericFlag(const std::vector<std::string> &args, const std::string &flag,
+            std::uint64_t fallback, std::uint64_t max_value,
+            const char *what)
+{
+    const std::string value = flagValue(args, flag);
+    if (value.empty())
+        return fallback;
+    std::uint64_t parsed = 0;
+    if (!parseU64Flag(value, parsed) || parsed > max_value) {
+        std::cerr << "loopsim-serve: invalid " << flag << " \"" << value
+                  << "\" (want " << what << ")\n";
+        std::exit(2);
+    }
+    return parsed;
+}
+
 } // anonymous namespace
 
 int
@@ -96,9 +136,12 @@ main(int argc, char **argv)
     const std::string host = flagValue(args, "--host");
     if (!host.empty())
         opts.host = host;
-    const std::string port = flagValue(args, "--port");
-    if (!port.empty())
-        opts.port = static_cast<unsigned short>(std::stoul(port));
+    opts.port = static_cast<unsigned short>(
+        numericFlag(args, "--port", opts.port, 65535, "a TCP port, 0-65535"));
+    opts.ioTimeoutMs = static_cast<unsigned>(
+        numericFlag(args, "--io-timeout-ms", opts.ioTimeoutMs,
+                    std::numeric_limits<unsigned>::max(),
+                    "a millisecond count (0 disables)"));
 
     // Default to the full host width: the daemon is the only tenant of
     // its machine, unlike a figure binary sharing a dev box.
@@ -119,9 +162,11 @@ main(int argc, char **argv)
     const std::string journal_dir = flagValue(args, "--journal");
     if (!journal_dir.empty())
         store::setJournalPath(journal_dir);
-    const std::string deadline = flagValue(args, "--deadline-ms");
-    if (!deadline.empty())
-        setDeadlineMs(std::stoull(deadline));
+    const std::uint64_t deadline_ms = numericFlag(
+        args, "--deadline-ms", 0, std::numeric_limits<std::uint64_t>::max(),
+        "a millisecond count");
+    if (deadline_ms != 0)
+        setDeadlineMs(deadline_ms);
     const std::string stats_json = flagValue(args, "--stats-json");
 
     // Clients flatten their own overlays into the plans they submit; a
